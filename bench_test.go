@@ -1,0 +1,333 @@
+package repro
+
+// One benchmark family per table and figure of the paper's evaluation
+// (Section 5), plus ablations of the design choices DESIGN.md calls out.
+// `go test -bench=. -benchmem` regenerates every series; cmd/experiments
+// prints the same data with the paper's formatting.
+//
+//	Fig4a  — decomposition run time on TGFF-style task graphs (5..18 nodes)
+//	Fig4b  — decomposition run time on Pajek-style random graphs (10..40)
+//	Fig5   — the planted random benchmark, decomposed to zero remainder
+//	Fig6   — the AES ACG decomposition (4xMGG4 + 2xL4 + remainder)
+//	TableAES — distributed AES on mesh vs customized architecture
+//	Ablation* — bounding on/off, library order, match cap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/noc"
+	"repro/internal/primitives"
+	"repro/internal/randgraph"
+	"repro/internal/routing"
+	"repro/internal/tgff"
+)
+
+func solveOnce(b *testing.B, acg *graph.Graph, opts core.Options) {
+	b.Helper()
+	res, err := core.Solve(core.Problem{
+		ACG:     acg,
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: opts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Best == nil && !res.Stats.TimedOut {
+		b.Fatal("no decomposition")
+	}
+}
+
+// BenchmarkFig4a_TGFF regenerates Figure 4a: run time of the algorithm on
+// TGFF-generated task graphs up to the 18-node automotive benchmark size.
+func BenchmarkFig4a_TGFF(b *testing.B) {
+	for _, n := range []int{6, 10, 14, 18} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			acg, err := tgff.Generate(tgff.DefaultConfig(n, 42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, acg, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4b_Pajek regenerates Figure 4b: average run time on larger
+// Pajek-style random graphs (the paper reports <3 minutes at 40 nodes; a
+// per-instance timeout mirrors the time-out mitigation of Section 5.1).
+func BenchmarkFig4b_Pajek(b *testing.B) {
+	for _, n := range []int{10, 20, 30, 40} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			acg, err := randgraph.ErdosRenyi(n, 0.15, 8, 64, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := core.Options{
+				Mode:       core.CostLinks,
+				Timeout:    20 * time.Second,
+				IsoTimeout: 2 * time.Second,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, acg, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkFig5_Planted regenerates the Figure 5 worked example: a random
+// benchmark assembled from planted primitives, decomposed with no
+// remainder (the paper reports <0.1 s).
+func BenchmarkFig5_Planted(b *testing.B) {
+
+	acg := randgraph.PaperFig5(16)
+	opts := core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solveOnce(b, acg, opts)
+	}
+}
+
+// BenchmarkFig6_AESDecomposition regenerates the Figure 6 decomposition:
+// the distributed-AES ACG decomposed into 4 column gossips, 2 row loops
+// and the row-3 remainder at cost 28 (the paper reports 0.58 s).
+func BenchmarkFig6_AESDecomposition(b *testing.B) {
+	acg := AESACG(0.1)
+	opts := core.Options{Mode: core.CostLinks, Timeout: 60 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		solveOnce(b, acg, opts)
+	}
+}
+
+func aesNetConfig() NetworkConfig {
+	return NetworkConfig{FlitBits: 32, BufferFlits: 4, NumVCs: 1, LinkCycles: 1, RouterCycles: 3, ClockMHz: 100}
+}
+
+// BenchmarkTableAES_Mesh regenerates the mesh row of the Section 5.2
+// prototype comparison: cycles/block, throughput, latency, power, energy.
+func BenchmarkTableAES_Mesh(b *testing.B) {
+	placement := GridPlacement(16, 1, 1, 0.2)
+	for i := 0; i < b.N; i++ {
+		net, _, err := MeshNetwork(4, 4, placement, aesNetConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := RunAES(net, "mesh", 1, Tech180)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.CyclesPerBlock, "cycles/block")
+		b.ReportMetric(cmp.ThroughputMbps, "Mbps")
+		b.ReportMetric(cmp.AvgLatency, "lat-cycles")
+		b.ReportMetric(cmp.EnergyPerBlock*1e6, "pJ/block")
+	}
+}
+
+// BenchmarkTableAES_Custom regenerates the customized-architecture row of
+// the Section 5.2 comparison.
+func BenchmarkTableAES_Custom(b *testing.B) {
+	placement := GridPlacement(16, 1, 1, 0.2)
+	res, err := Synthesize(AESACG(0.1), Options{
+		Mode: CostLinks, Placement: placement, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := res.NewNetwork(aesNetConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := RunAES(net, "custom", 1, Tech180)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.CyclesPerBlock, "cycles/block")
+		b.ReportMetric(cmp.ThroughputMbps, "Mbps")
+		b.ReportMetric(cmp.AvgLatency, "lat-cycles")
+		b.ReportMetric(cmp.EnergyPerBlock*1e6, "pJ/block")
+	}
+}
+
+// BenchmarkAblationBounding quantifies the Figure 3 lower-bound pruning:
+// the same AES instance with and without the bound.
+func BenchmarkAblationBounding(b *testing.B) {
+	acg := AESACG(0.1)
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{
+				Mode:         core.CostLinks,
+				Timeout:      60 * time.Second,
+				DisableBound: disabled,
+			}
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, acg, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLibraryOrder compares trying the richest primitives
+// first (default) against smallest-first.
+func BenchmarkAblationLibraryOrder(b *testing.B) {
+	acg := AESACG(0.1)
+	libs := map[string]*primitives.Library{
+		"rich-first":  primitives.MustDefault(),
+		"small-first": primitives.MustDefault().Reversed(),
+	}
+	for _, name := range []string{"rich-first", "small-first"} {
+		lib := libs[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(core.Problem{
+					ACG:     acg,
+					Library: lib,
+					Energy:  energy.Tech180,
+					Options: core.Options{Mode: core.CostLinks, Timeout: 60 * time.Second},
+				})
+				if err != nil || res.Best == nil {
+					b.Fatalf("solve failed: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMatchCap varies how many matchings per primitive per
+// level the search expands (the paper's tree uses one).
+func BenchmarkAblationMatchCap(b *testing.B) {
+	acg := AESACG(0.1)
+	for _, cap := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			opts := core.Options{
+				Mode:       core.CostLinks,
+				MatchLimit: cap,
+				Timeout:    20 * time.Second,
+			}
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, acg, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionFFT regenerates the distributed-FFT study: the
+// hypercube workload on mesh vs customized topology (future-work
+// extension; see EXPERIMENTS.md).
+func BenchmarkExtensionFFT(b *testing.B) {
+	placement := GridPlacement(16, 1, 1, 0.2)
+	acg, err := FFTACG(16, 128, 0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Synthesize(acg, Options{
+		Mode: CostEnergy, Placement: placement, Timeout: 60 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mesh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, _, err := MeshNetwork(4, 4, placement, aesNetConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles, _, err := RunFFT(net, 16, 7, Tech180)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cycles), "cycles/fft")
+		}
+	})
+	b.Run("custom", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net, err := res.NewNetwork(aesNetConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles, _, err := RunFFT(net, 16, 7, Tech180)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cycles), "cycles/fft")
+		}
+	})
+}
+
+// BenchmarkExtensionRoutingStrategies compares deterministic XY against
+// stochastic and adaptive O1TURN under uniform traffic (future-work
+// extension).
+func BenchmarkExtensionRoutingStrategies(b *testing.B) {
+	o1, err := routing.NewMeshO1Turn(4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, strat := range []string{"xy", "stochastic", "adaptive"} {
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := noc.DefaultConfig()
+				cfg.NumVCs = 2
+				net, _, err := MeshNetwork(4, 4, nil, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(11))
+				trace := noc.UniformRandomTrace(net.Nodes(), 500, 128, 0.05, 99)
+				var chooser noc.RouteChooser
+				switch strat {
+				case "xy":
+					chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+						return o1.Route(ev.Src, ev.Dst, 0)
+					}
+				case "stochastic":
+					chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+						return o1.RandomRoute(ev.Src, ev.Dst, rng)
+					}
+				case "adaptive":
+					chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+						return o1.AdaptiveRoute(ev.Src, ev.Dst, net.InputOccupancy)
+					}
+				}
+				if err := net.ReplayWith(trace, 10_000_000, chooser); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(net.Stats().AvgLatency(), "lat-cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkVF2GossipInAES measures the raw matcher on the hottest pattern
+// of the AES decomposition: enumerating every MGG4 embedding in the ACG.
+func BenchmarkVF2GossipInAES(b *testing.B) {
+	acg := AESACG(0.1)
+	mgg4 := primitives.MustDefault().ByName("MGG4")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := iso.FindAll(mgg4.Rep, acg, iso.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 4 columns x 24 automorphisms each.
+		if len(ms) != 96 {
+			b.Fatalf("matchings = %d, want 96", len(ms))
+		}
+	}
+}

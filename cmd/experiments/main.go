@@ -1,0 +1,372 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5). Each experiment prints its data in a format
+// mirroring the paper's presentation; EXPERIMENTS.md records the
+// paper-versus-measured comparison.
+//
+// Usage:
+//
+//	experiments -fig 1          # library and optimal implementations
+//	experiments -fig 2          # decomposition tree worked example
+//	experiments -fig 4a         # run time on TGFF-style graphs
+//	experiments -fig 4b         # run time on Pajek-style graphs
+//	experiments -fig 5          # planted random benchmark listing
+//	experiments -fig 6          # AES ACG decomposition + architecture
+//	experiments -table aes      # Section 5.2 prototype comparison
+//	experiments -table aes -routing sp   # routing ablation
+//	experiments -all            # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+	"repro/internal/noc"
+	"repro/internal/primitives"
+	"repro/internal/randgraph"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/tgff"
+
+	repro "repro"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 5, 6")
+	table := flag.String("table", "", "table to regenerate: aes")
+	routingMode := flag.String("routing", "schedule", "custom-topology routing: schedule or sp")
+	all := flag.Bool("all", false, "run every experiment")
+	seeds := flag.Int("seeds", 5, "random seeds per point for figure 4 sweeps")
+	flag.Parse()
+
+	if *all {
+		for _, f := range []string{"1", "2", "4a", "4b", "5", "6"} {
+			runFig(f, *seeds)
+			fmt.Println()
+		}
+		runTableAES(*routingMode)
+		return
+	}
+	switch {
+	case *fig != "":
+		runFig(*fig, *seeds)
+	case *table == "aes":
+		runTableAES(*routingMode)
+	case *table == "routing":
+		runTableRouting()
+	case *table == "floorplan":
+		runTableFloorplan()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runTableFloorplan explores the paper's floorplan-relaxation future work
+// (Section 6): synthesis energy on an area-only floorplan vs. the
+// traffic-aware co-optimized one, for random task graphs.
+func runTableFloorplan() {
+	fmt.Println("=== Future work: area-only vs traffic-aware floorplanning ===")
+	fmt.Printf("%-10s %12s %12s %14s %14s\n",
+		"graph", "area mm2", "area mm2*", "energy pJ", "energy pJ*")
+	fmt.Println("(* = traffic-aware anneal)")
+	for _, seed := range []int64{1, 2, 3} {
+		tasks, err := tgff.Generate(tgff.DefaultConfig(10, seed))
+		check(err)
+		var cores []floorplan.Core
+		for i := 1; i <= 10; i++ {
+			cores = append(cores, floorplan.Core{
+				ID: graph.NodeID(i),
+				W:  1 + float64((i+int(seed))%3)*0.5,
+				H:  1 + float64(i%2)*0.5,
+			})
+		}
+		area, err := floorplan.Slicing(cores, floorplan.AnnealOptions{Seed: seed})
+		check(err)
+		aware, err := floorplan.SlicingWithTraffic(cores, floorplan.TrafficAnnealOptions{
+			AnnealOptions:    floorplan.AnnealOptions{Seed: seed},
+			Traffic:          tasks,
+			WirelengthWeight: 0.01,
+		})
+		check(err)
+
+		synthCost := func(p *floorplan.Placement) float64 {
+			res, err := core.Solve(core.Problem{
+				ACG:       tasks,
+				Library:   primitives.MustDefault(),
+				Placement: p,
+				Energy:    energy.Tech130,
+				Options:   core.Options{Mode: core.CostEnergy, Timeout: 20 * time.Second},
+			})
+			check(err)
+			if res.Best == nil {
+				return -1
+			}
+			return res.Best.Cost
+		}
+		fmt.Printf("tgff-10/%d %12.1f %12.1f %14.0f %14.0f\n",
+			seed, area.Area(), aware.Area(), synthCost(area), synthCost(aware))
+	}
+}
+
+// runTableRouting explores the paper's future-work routing strategies
+// (Section 6, "adaptive or stochastic routing strategies should be
+// investigated"): deterministic XY vs stochastic O1TURN vs congestion-
+// adaptive O1TURN on a 4x4 mesh under uniform random traffic of
+// increasing injection rate.
+func runTableRouting() {
+	fmt.Println("=== Future work: routing strategy comparison on 4x4 mesh ===")
+	fmt.Printf("%-10s %-14s %10s %10s %10s\n", "rate", "strategy", "latency", "max lat", "cycles")
+
+	for _, rate := range []float64{0.01, 0.03, 0.05} {
+		for _, strat := range []string{"xy", "stochastic", "adaptive"} {
+			cfg := noc.DefaultConfig()
+			cfg.NumVCs = 2
+			net, _, err := repro.MeshNetwork(4, 4, nil, cfg)
+			check(err)
+			o1, err := routing.NewMeshO1Turn(4, 4)
+			check(err)
+			rng := rand.New(rand.NewSource(11))
+			trace := noc.UniformRandomTrace(net.Nodes(), 2000, 128, rate, 99)
+
+			var chooser noc.RouteChooser
+			switch strat {
+			case "xy":
+				chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+					return o1.Route(ev.Src, ev.Dst, 0)
+				}
+			case "stochastic":
+				chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+					return o1.RandomRoute(ev.Src, ev.Dst, rng)
+				}
+			case "adaptive":
+				chooser = func(ev noc.TrafficEvent) ([]graph.NodeID, []int, error) {
+					return o1.AdaptiveRoute(ev.Src, ev.Dst, net.InputOccupancy)
+				}
+			}
+			check(net.ReplayWith(trace, 10_000_000, chooser))
+			st := net.Stats()
+			fmt.Printf("%-10.3f %-14s %10.2f %10d %10d\n",
+				rate, strat, st.AvgLatency(), st.LatencyMax, net.Cycle())
+		}
+	}
+}
+
+func runFig(fig string, seeds int) {
+	switch fig {
+	case "1":
+		fig1()
+	case "2":
+		fig2()
+	case "4a":
+		fig4a(seeds)
+	case "4b":
+		fig4b(seeds)
+	case "5":
+		fig5()
+	case "6":
+		fig6()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
+		os.Exit(2)
+	}
+}
+
+// fig1 dumps the communication library: representation graphs, optimal
+// implementation graphs and round schedules (paper Figure 1).
+func fig1() {
+	fmt.Println("=== Figure 1: communication library and optimal implementations ===")
+	lib := primitives.MustDefault()
+	fmt.Print(lib.Describe())
+	fmt.Printf("library max implementation diameter: %d (Section 4.3 hop bound)\n", lib.MaxDiameter())
+	fmt.Println("\nper-technology characterization (stored in the library, Section 3):")
+	fmt.Print(primitives.CharacterizationTable(primitives.Characterize(lib, []energy.Model{
+		energy.Tech180, energy.Tech130, energy.Tech100,
+	})))
+}
+
+// fig2 walks a small decomposition-tree example in the spirit of the
+// paper's Figure 2 (the exact input graph is not recoverable from the
+// text; a K4 plus a pendant edge produces the same tree shape: a gossip
+// branch, a loop branch and a broadcast branch, with the gossip branch
+// winning).
+func fig2() {
+	fmt.Println("=== Figure 2: decomposition tree worked example ===")
+	acg := graph.CompleteDigraph("fig2", graph.Range(1, 4), 8, 1)
+	acg.AddEdge(graph.Edge{From: 1, To: 5, Volume: 8, Bandwidth: 1})
+	fmt.Println("input: K4 digraph on {1..4} plus pendant edge 1->5")
+
+	res, err := core.Solve(core.Problem{
+		ACG:     acg,
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second},
+	})
+	check(err)
+	fmt.Printf("best decomposition (link-cost metric):\n%s", res.Best.PaperListing())
+	fmt.Printf("search: %d tree nodes, %d matchings, %d pruned, %d leaves\n",
+		res.Stats.NodesExplored, res.Stats.MatchingsTried,
+		res.Stats.BranchesPruned, res.Stats.LeavesReached)
+}
+
+// fig4a sweeps TGFF-style task graphs (paper Figure 4a: up to 18 nodes,
+// largest run time 0.3 s).
+func fig4a(seeds int) {
+	fmt.Println("=== Figure 4a: run time on TGFF-style task graphs ===")
+	series := stats.Series{Name: "fig4a", XLabel: "nodes", YLabel: "seconds"}
+	for n := 5; n <= 18; n++ {
+		var times []float64
+		for s := 0; s < seeds; s++ {
+			acg, err := tgff.Generate(tgff.DefaultConfig(n, int64(s)))
+			check(err)
+			start := time.Now()
+			_, err = core.Solve(core.Problem{
+				ACG:     acg,
+				Library: primitives.MustDefault(),
+				Energy:  energy.Tech180,
+				Options: core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second},
+			})
+			check(err)
+			times = append(times, time.Since(start).Seconds())
+		}
+		series.Add(float64(n), stats.Mean(times))
+	}
+	fmt.Print(series.Table())
+}
+
+// fig4b sweeps Pajek-style random graphs (paper Figure 4b: 60+ graphs,
+// up to 40 nodes, under 3 minutes).
+func fig4b(seeds int) {
+	fmt.Println("=== Figure 4b: average run time on Pajek-style random graphs ===")
+	series := stats.Series{Name: "fig4b", XLabel: "nodes", YLabel: "seconds"}
+	for _, n := range []int{10, 15, 20, 25, 30, 35, 40} {
+		var times []float64
+		for s := 0; s < seeds; s++ {
+			acg, err := randgraph.ErdosRenyi(n, 0.15, 8, 64, int64(s))
+			check(err)
+			start := time.Now()
+			_, err = core.Solve(core.Problem{
+				ACG:     acg,
+				Library: primitives.MustDefault(),
+				Energy:  energy.Tech180,
+				Options: core.Options{
+					Mode:       core.CostLinks,
+					Timeout:    60 * time.Second,
+					IsoTimeout: 2 * time.Second,
+				},
+			})
+			check(err)
+			times = append(times, time.Since(start).Seconds())
+		}
+		series.Add(float64(n), stats.Mean(times))
+	}
+	fmt.Print(series.Table())
+}
+
+// fig5 reproduces the worked random example: a graph assembled from
+// planted primitives, decomposed with no remainder (paper: one MGG4,
+// three G123, one G124, < 0.1 s).
+func fig5() {
+	fmt.Println("=== Figure 5: customized synthesis for a random benchmark ===")
+	lib := primitives.MustDefault()
+	acg := randgraph.PaperFig5(16)
+	fmt.Printf("input: the paper's 8-node benchmark, %d edges\n", acg.EdgeCount())
+	start := time.Now()
+	res, err := core.Solve(core.Problem{
+		ACG:     acg,
+		Library: lib,
+		Energy:  energy.Tech180,
+		Options: core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second},
+	})
+	check(err)
+	fmt.Printf("decomposed in %.3f s:\n%s", time.Since(start).Seconds(), res.Best.PaperListing())
+}
+
+// fig6 reproduces the AES decomposition and the customized architecture
+// (paper: 4 column MGG4s, rows 2/4 as L4, row 3 as remainder, cost 28,
+// 0.58 s).
+func fig6() {
+	fmt.Println("=== Figure 6: AES ACG and customized architecture ===")
+	acg := repro.AESACG(0.1)
+	fmt.Printf("ACG: %d nodes, %d edges\n", acg.NodeCount(), acg.EdgeCount())
+	start := time.Now()
+	res, err := repro.Synthesize(acg, repro.Options{
+		Mode:      repro.CostLinks,
+		Placement: repro.GridPlacement(16, 1, 1, 0.2),
+		Timeout:   60 * time.Second,
+	})
+	check(err)
+	fmt.Printf("decomposed in %.3f s:\n%s", time.Since(start).Seconds(), res.Decomposition.PaperListing())
+	fmt.Printf("\ncustomized architecture:\n%s", res.Architecture.Describe())
+	fmt.Printf("\nDOT (Figure 6b):\n%s", res.Architecture.DOT())
+}
+
+// runTableAES regenerates the Section 5.2 prototype comparison.
+func runTableAES(routingMode string) {
+	fmt.Println("=== Section 5.2: AES prototype comparison (mesh vs customized) ===")
+	const blocks = 10
+	placement := floorplan.Grid(16, 1, 1, 0.2)
+	cfg := noc.Config{FlitBits: 32, BufferFlits: 4, NumVCs: 1, LinkCycles: 1, RouterCycles: 3, ClockMHz: 100}
+	em := energy.Tech180
+
+	meshNet, meshArch, err := repro.MeshNetwork(4, 4, placement, cfg)
+	check(err)
+	mesh, err := repro.RunAES(meshNet, "mesh 4x4 (XY)", blocks, em)
+	check(err)
+	mesh.Links = meshArch.LinkCount()
+
+	res, err := repro.Synthesize(repro.AESACG(0.1), repro.Options{
+		Mode: repro.CostLinks, Placement: placement, Timeout: 60 * time.Second,
+	})
+	check(err)
+	var table routing.Table
+	switch routingMode {
+	case "schedule":
+		table = res.Routing
+	case "sp":
+		table, err = routing.BuildShortestPath(res.Architecture)
+		check(err)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown routing mode %q\n", routingMode)
+		os.Exit(2)
+	}
+	vcs, err := routing.AssignVirtualChannels(table, res.Architecture, nil)
+	check(err)
+	customNet, err := noc.New(cfg, res.Architecture, table, vcs)
+	check(err)
+	custom, err := repro.RunAES(customNet, "customized ("+routingMode+")", blocks, em)
+	check(err)
+	custom.Links = res.Architecture.LinkCount()
+
+	printAESRow := func(c *repro.AESComparison) {
+		fmt.Printf("%-22s %10.1f %10.1f %10.2f %10.2f %12.4f %7d\n",
+			c.Name, c.CyclesPerBlock, c.ThroughputMbps, c.AvgLatency,
+			c.AvgPowerMW, c.EnergyPerBlock, c.Links)
+	}
+	fmt.Printf("%-22s %10s %10s %10s %10s %12s %7s\n",
+		"architecture", "cyc/block", "Mbps", "latency", "power mW", "uJ/block", "links")
+	printAESRow(mesh)
+	printAESRow(custom)
+
+	pct := func(a, b float64) float64 { return (a - b) / b * 100 }
+	fmt.Printf("\ncustom vs mesh: throughput %+.1f%%, latency %+.1f%%, power %+.1f%%, energy/block %+.1f%%\n",
+		pct(custom.ThroughputMbps, mesh.ThroughputMbps),
+		pct(custom.AvgLatency, mesh.AvgLatency),
+		pct(custom.AvgPowerMW, mesh.AvgPowerMW),
+		pct(custom.EnergyPerBlock, mesh.EnergyPerBlock))
+	fmt.Println("paper reference:  throughput +36%, latency -17%, power -33%, energy/block -51%")
+
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,101 @@
+// Command nocsim drives the cycle-level NoC simulator with synthetic
+// traffic over either a standard mesh or a synthesized customized
+// architecture, reporting latency, throughput, activity and energy.
+//
+// Usage:
+//
+//	nocsim -mesh 4x4 -packets 500 -bits 128 -rate 0.02 [-tech 180nm]
+//	nocsim -acg app.json -packets 500 -bits 128 -rate 0.02
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/noc"
+
+	repro "repro"
+)
+
+func main() {
+	mesh := flag.String("mesh", "", "mesh dimensions RxC (e.g. 4x4)")
+	acgPath := flag.String("acg", "", "ACG JSON to synthesize a custom architecture from")
+	packets := flag.Int("packets", 500, "number of packets to inject")
+	bits := flag.Int("bits", 128, "packet payload size in bits")
+	rate := flag.Float64("rate", 0.02, "injection rate (packets per node per cycle)")
+	seed := flag.Int64("seed", 1, "traffic seed")
+	tech := flag.String("tech", "180nm", "technology profile for energy reporting")
+	flitBits := flag.Int("flits", 32, "link width in bits")
+	traceIn := flag.String("tracein", "", "replay a JSON trace file instead of generating traffic")
+	traceOut := flag.String("traceout", "", "save the generated traffic trace to a JSON file")
+	flag.Parse()
+
+	em, err := energy.ProfileByName(*tech)
+	check(err)
+	cfg := noc.DefaultConfig()
+	cfg.FlitBits = *flitBits
+
+	var net *noc.Network
+	switch {
+	case *mesh != "":
+		var rows, cols int
+		if _, err := fmt.Sscanf(*mesh, "%dx%d", &rows, &cols); err != nil {
+			check(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
+		}
+		n, _, err := repro.MeshNetwork(rows, cols, nil, cfg)
+		check(err)
+		net = n
+	case *acgPath != "":
+		data, err := os.ReadFile(*acgPath)
+		check(err)
+		var acg graph.Graph
+		check(json.Unmarshal(data, &acg))
+		res, err := repro.Synthesize(&acg, repro.Options{Timeout: 60 * time.Second})
+		check(err)
+		n, err := res.NewNetwork(cfg)
+		check(err)
+		net = n
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var trace noc.Trace
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		check(err)
+		trace, err = noc.ReadTrace(f)
+		f.Close()
+		check(err)
+	} else {
+		trace = noc.UniformRandomTrace(net.Nodes(), *packets, *bits, *rate, *seed)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		check(noc.WriteTrace(f, trace))
+		check(f.Close())
+	}
+	check(net.Replay(trace, 10_000_000))
+
+	st := net.Stats()
+	fmt.Print(st.Describe())
+	fmt.Printf("elapsed: %d cycles\n", net.Cycle())
+	fmt.Printf("throughput: %.2f Mbps @ %g MHz\n",
+		st.ThroughputMbps(net.Cycle(), cfg.ClockMHz), cfg.ClockMHz)
+	fmt.Printf("energy: %.3f uJ total (%.3f dynamic + %.3f static)\n",
+		net.EnergyPJ(em)*1e-6, net.DynamicEnergyPJ(em)*1e-6, net.StaticEnergyPJ(em)*1e-6)
+	fmt.Printf("average power: %.1f mW (%s)\n", net.AveragePowerMW(em), em.Name)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,143 @@
+// Command nocsynth synthesizes a customized NoC communication architecture
+// from an application characterization graph, running the paper's full
+// pipeline: branch-and-bound decomposition into communication primitives,
+// gluing of optimal implementations, routing-table derivation and virtual
+// channel assignment.
+//
+// The ACG is read as JSON:
+//
+//	{
+//	  "name": "myapp",
+//	  "nodes": [1,2,3,4],
+//	  "edges": [
+//	    {"from":1,"to":2,"volume":128,"bandwidth":10},
+//	    ...
+//	  ]
+//	}
+//
+// Usage:
+//
+//	nocsynth -acg app.json [-mode links|energy] [-tech 180nm|130nm|100nm]
+//	         [-grid n,w,h,gap] [-linkbw Mbps] [-bisection Mbps]
+//	         [-timeout 30s] [-dot] [-routes]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+	"repro/internal/routing"
+
+	repro "repro"
+)
+
+func main() {
+	acgPath := flag.String("acg", "", "path to the ACG JSON file (required)")
+	mode := flag.String("mode", "energy", "cost mode: energy or links")
+	tech := flag.String("tech", "180nm", "technology profile: 180nm, 130nm, 100nm")
+	grid := flag.String("grid", "", "grid placement as n,coreW,coreH,gap (e.g. 16,1,1,0.2); empty = unit distances")
+	linkBW := flag.Float64("linkbw", 0, "per-link bandwidth capacity in Mbps (0 = unconstrained)")
+	bisection := flag.Float64("bisection", 0, "max bisection bandwidth in Mbps (0 = unconstrained)")
+	timeout := flag.Duration("timeout", 30*time.Second, "search time budget")
+	dot := flag.Bool("dot", false, "print the architecture in Graphviz DOT")
+	routes := flag.Bool("routes", false, "print the full routing table")
+	verilog := flag.Bool("verilog", false, "print a structural Verilog netlist of the architecture")
+	flag.Parse()
+
+	if *acgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*acgPath)
+	check(err)
+	var acg graph.Graph
+	check(json.Unmarshal(data, &acg))
+
+	em, err := energy.ProfileByName(*tech)
+	check(err)
+
+	var costMode repro.CostMode
+	switch *mode {
+	case "energy":
+		costMode = repro.CostEnergy
+	case "links":
+		costMode = repro.CostLinks
+	default:
+		check(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	var placement *floorplan.Placement
+	if *grid != "" {
+		var n int
+		var w, h, gap float64
+		if _, err := fmt.Sscanf(*grid, "%d,%f,%f,%f", &n, &w, &h, &gap); err != nil {
+			check(fmt.Errorf("bad -grid %q: %v", *grid, err))
+		}
+		placement = floorplan.Grid(n, w, h, gap)
+	}
+
+	start := time.Now()
+	res, err := repro.Synthesize(&acg, repro.Options{
+		Mode:      costMode,
+		Placement: placement,
+		Energy:    em,
+		Timeout:   *timeout,
+		Constraints: repro.Constraints{
+			LinkBandwidthMbps: *linkBW,
+			MaxBisectionMbps:  *bisection,
+		},
+	})
+	check(err)
+
+	fmt.Printf("synthesized %q in %.3f s (%d tree nodes, %d pruned, timed out: %v)\n\n",
+		acg.Name(), time.Since(start).Seconds(),
+		res.Stats.NodesExplored, res.Stats.BranchesPruned, res.Stats.TimedOut)
+	fmt.Print(res.Decomposition.PaperListing())
+	fmt.Printf("\n%s", res.Architecture.Describe())
+	fmt.Printf("virtual channels required: %d\n", res.VCs.NumVCs)
+
+	free, err := routing.DeadlockFree(res.Routing, res.Architecture, nil)
+	check(err)
+	fmt.Printf("single-VC deadlock free: %v\n", free)
+
+	if *routes {
+		fmt.Println("\nrouting table (src -> dst: path):")
+		nodes := res.Architecture.Nodes()
+		for _, s := range nodes {
+			for _, d := range nodes {
+				if s == d {
+					continue
+				}
+				path, err := res.Routing.Route(s, d)
+				check(err)
+				strs := make([]string, len(path))
+				for i, p := range path {
+					strs[i] = fmt.Sprintf("%d", p)
+				}
+				fmt.Printf("  %d -> %d: %s\n", s, d, strings.Join(strs, " "))
+			}
+		}
+	}
+	if *dot {
+		fmt.Printf("\n%s", res.Architecture.DOT())
+	}
+	if *verilog {
+		v, err := res.VerilogNetlist("noc_top", 32)
+		check(err)
+		fmt.Printf("\n%s", v)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocsynth:", err)
+		os.Exit(1)
+	}
+}

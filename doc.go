@@ -1,0 +1,36 @@
+// Package repro is an open-source reproduction of "Energy- and
+// Performance-Driven NoC Communication Architecture Synthesis Using a
+// Decomposition Approach" (Ogras & Marculescu, DATE 2005).
+//
+// The paper synthesizes application-specific network-on-chip topologies by
+// decomposing an application's communication pattern into generic
+// primitives — gossip, broadcast, paths, loops — replacing each primitive
+// with its optimal implementation graph (minimum gossip/broadcast graphs)
+// and gluing the implementations into a customized architecture that a
+// branch-and-bound search selects for minimum energy under bandwidth and
+// wiring constraints.
+//
+// This package is the public facade: it re-exports the building blocks
+// (application graphs, the communication library, floorplanning, the
+// energy model) and provides the one-call Synthesize pipeline plus the
+// simulation helpers the paper's evaluation needs. The implementation
+// lives in the internal packages:
+//
+//	internal/graph      directed weighted graphs and graph algebra
+//	internal/iso        VF2 subgraph isomorphism
+//	internal/primitives the communication library (Figure 1)
+//	internal/energy     the Ebit model (Equation 1)
+//	internal/floorplan  slicing floorplanner + grid placement
+//	internal/core       the branch-and-bound decomposition (Figures 2-3)
+//	internal/topology   architecture composition + mesh baseline
+//	internal/routing    schedule-derived tables, deadlock, VCs (Section 4.5)
+//	internal/noc        cycle-level wormhole NoC simulator
+//	internal/aes        AES-128 and its 16-node distributed mapping (Section 5.2)
+//	internal/mapping    energy-aware task-to-core assignment
+//	internal/netlist    structural Verilog emission
+//	internal/tgff       TGFF-style task graphs (Figure 4a)
+//	internal/randgraph  Pajek-style random graphs (Figures 4b, 5)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package repro

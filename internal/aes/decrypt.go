@@ -1,0 +1,71 @@
+package aes
+
+import "fmt"
+
+// Decrypt inverts Encrypt for one 16-byte block, implementing the
+// straightforward inverse cipher of FIPS-197 Section 5.3 (InvShiftRows,
+// InvSubBytes, InvMixColumns, AddRoundKey in reverse key order). The
+// distributed experiment only needs encryption, but a cipher library
+// without its inverse is not adoptable; round-trip equality is property-
+// tested against random blocks.
+func Decrypt(ks KeySchedule, block []byte) ([]byte, error) {
+	if len(block) != BlockBytes {
+		return nil, fmt.Errorf("aes: block length %d, want %d", len(block), BlockBytes)
+	}
+	var s state
+	copy(s[:], block)
+	addRoundKey(&s, ks, Rounds)
+	invShiftRows(&s)
+	invSubBytes(&s)
+	for r := Rounds - 1; r >= 1; r-- {
+		addRoundKey(&s, ks, r)
+		invMixColumns(&s)
+		invShiftRows(&s)
+		invSubBytes(&s)
+	}
+	addRoundKey(&s, ks, 0)
+	out := make([]byte, BlockBytes)
+	copy(out, s[:])
+	return out, nil
+}
+
+func invSubBytes(s *state) {
+	for i := range s {
+		s[i] = invSbox[s[i]]
+	}
+}
+
+func invShiftRows(s *state) {
+	var t state
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			t.set(r, (c+r)%4, s.at(r, c))
+		}
+	}
+	*s = t
+}
+
+// invMixColumnCoeff is the inverse MixColumns matrix.
+func invMixColumnCoeff(i, j int) byte {
+	m := [4][4]byte{
+		{0x0e, 0x0b, 0x0d, 0x09},
+		{0x09, 0x0e, 0x0b, 0x0d},
+		{0x0d, 0x09, 0x0e, 0x0b},
+		{0x0b, 0x0d, 0x09, 0x0e},
+	}
+	return m[i][j]
+}
+
+func invMixColumns(s *state) {
+	var t state
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 4; i++ {
+			var v byte
+			for j := 0; j < 4; j++ {
+				v ^= gmul(invMixColumnCoeff(i, j), s.at(j, c))
+			}
+			t.set(i, c, v)
+		}
+	}
+	*s = t
+}

@@ -1,0 +1,67 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecryptFIPSVector(t *testing.T) {
+	key := mustHex(t, "2b7e151628aed2a6abf7158809cf4f3c")
+	ct := mustHex(t, "3925841d02dc09fbdc118597196a0b32")
+	want := mustHex(t, "3243f6a8885a308d313198a2e0370734")
+	ks, err := ExpandKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Decrypt(ks, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, want) {
+		t.Fatalf("plaintext = %x, want %x", pt, want)
+	}
+}
+
+func TestDecryptRejectsBadBlock(t *testing.T) {
+	ks, _ := ExpandKey(make([]byte, 16))
+	if _, err := Decrypt(ks, make([]byte, 17)); err == nil {
+		t.Fatal("long block accepted")
+	}
+}
+
+// Property: Decrypt(Encrypt(x)) == x for random keys and blocks.
+func TestPropertyEncryptDecryptRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ks, err := ExpandKey(key)
+		if err != nil {
+			return false
+		}
+		ct, err := Encrypt(ks, pt)
+		if err != nil {
+			return false
+		}
+		back, err := Decrypt(ks, ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvSboxInvertsSbox(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if invSbox[sbox[i]] != byte(i) {
+			t.Fatalf("invSbox broken at %#x", i)
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package aes
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/noc"
+)
+
+// NodeID returns the network node holding state byte s[row][col] under the
+// paper's layout: the 16 identical nodes form a 4x4 row-major grid, node
+// id = 4*row + col + 1, so grid column c = {c+1, c+5, c+9, c+13} holds AES
+// state column c — the vertex sets the paper's decomposition maps to
+// gossip graphs.
+func NodeID(row, col int) graph.NodeID {
+	return graph.NodeID(4*row + col + 1)
+}
+
+// NodePosition inverts NodeID.
+func NodePosition(id graph.NodeID) (row, col int) {
+	i := int(id) - 1
+	return i / 4, i % 4
+}
+
+// ACG builds the Application Characterization Graph of the distributed
+// AES (paper Figure 6a). Edge volumes are bits per encrypted block derived
+// from the round structure: ShiftRows moves one byte per round along rows
+// (10 rounds), MixColumns gathers one byte from each column peer per
+// full round (9 rounds). Bandwidths are set proportional to volume scaled
+// by bwPerBit (Mbps per bit-per-block), which callers derive from their
+// block rate target.
+func ACG(bwPerBit float64) *graph.Graph {
+	g := graph.New("aes-acg")
+	for i := 1; i <= 16; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	// MixColumns: all-to-all within each state column, 8 bits x 9 rounds.
+	colVol := 8.0 * 9
+	for c := 0; c < 4; c++ {
+		for r1 := 0; r1 < 4; r1++ {
+			for r2 := 0; r2 < 4; r2++ {
+				if r1 != r2 {
+					g.AddEdge(graph.Edge{
+						From: NodeID(r1, c), To: NodeID(r2, c),
+						Volume: colVol, Bandwidth: colVol * bwPerBit,
+					})
+				}
+			}
+		}
+	}
+	// ShiftRows: row r shifts by r, 8 bits x 10 rounds. Sender (r,c)
+	// serves receiver (r, (c-r) mod 4). Row 0 needs no communication.
+	rowVol := 8.0 * 10
+	for r := 1; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			dst := NodeID(r, ((c-r)%4+4)%4)
+			g.AddEdge(graph.Edge{
+				From: NodeID(r, c), To: dst,
+				Volume: rowVol, Bandwidth: rowVol * bwPerBit,
+			})
+		}
+	}
+	return g
+}
+
+// message kinds exchanged by the distributed nodes.
+type msgKind int
+
+const (
+	msgShift  msgKind = iota // post-SubBytes byte moving along its row
+	msgColumn                // post-ShiftRows byte broadcast within a column
+)
+
+type message struct {
+	kind   msgKind
+	round  int
+	srcRow int
+	value  byte
+}
+
+// nodeState is the per-node controller of the distributed cipher.
+type nodeState struct {
+	row, col int
+	id       graph.NodeID
+
+	curByte byte // current state byte
+	round   int  // round being processed (1..10)
+
+	// Phase flags within the round.
+	subDone    bool
+	shiftByte  byte
+	shiftReady bool
+	colBytes   [4]byte
+	colHave    [4]bool
+
+	readyAt  int64 // cycle at which pending local compute completes
+	outByte  byte  // final-round result, kept apart from the working byte
+	finalSet bool  // final-round byte computed (round 10 shift received)
+	done     bool  // finished round 10 AND sent everything owed
+
+	// held buffers messages for rounds this node has not reached yet —
+	// neighbors are not globally synchronized and may run ahead.
+	held []message
+}
+
+// DistConfig tunes the distributed execution.
+type DistConfig struct {
+	// ComputeCycles models each local compute step (SubBytes, MixColumns
+	// + AddRoundKey) as a fixed delay.
+	ComputeCycles int
+	// MaxCycles aborts a run that fails to converge (deadlock guard).
+	MaxCycles int64
+}
+
+// DefaultDistConfig mirrors a small byte-serial datapath.
+func DefaultDistConfig() DistConfig {
+	return DistConfig{ComputeCycles: 2, MaxCycles: 1_000_000}
+}
+
+// DistResult reports a distributed encryption run.
+type DistResult struct {
+	// Ciphertexts are the encrypted blocks, bit-identical to the
+	// reference cipher.
+	Ciphertexts [][]byte
+	// TotalCycles is the simulated time for all blocks (sequential).
+	TotalCycles int64
+	// CyclesPerBlock is TotalCycles / number of blocks — the paper's
+	// "Delta cycles/block".
+	CyclesPerBlock float64
+	// Stats is the network activity snapshot at completion.
+	Stats noc.Stats
+}
+
+// EncryptDistributed runs the 16-node distributed AES on the given
+// simulator network for every plaintext block, sequentially. The network
+// must span nodes 1..16. The result ciphertexts are computed by the nodes
+// themselves through simulated messages — bit-identical to Encrypt — so a
+// successful run is end-to-end evidence that the synthesized topology and
+// routing actually implement the application.
+func EncryptDistributed(net *noc.Network, ks KeySchedule, blocks [][]byte, cfg DistConfig) (*DistResult, error) {
+	if net == nil {
+		return nil, fmt.Errorf("aes: nil network")
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("aes: no blocks")
+	}
+	if cfg.ComputeCycles < 0 || cfg.MaxCycles <= 0 {
+		return nil, fmt.Errorf("aes: bad config %+v", cfg)
+	}
+	for _, b := range blocks {
+		if len(b) != BlockBytes {
+			return nil, fmt.Errorf("aes: block length %d", len(b))
+		}
+	}
+
+	nodes := make(map[graph.NodeID]*nodeState, 16)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			id := NodeID(r, c)
+			nodes[id] = &nodeState{row: r, col: c, id: id}
+		}
+	}
+
+	// Deliveries land in per-node inboxes, processed next cycle.
+	inbox := make(map[graph.NodeID][]message)
+	net.OnEject(func(p *noc.Packet) {
+		m, ok := p.Payload.(message)
+		if !ok {
+			return
+		}
+		inbox[p.Dst] = append(inbox[p.Dst], m)
+	})
+
+	var result DistResult
+	for _, block := range blocks {
+		// Load the block: node (r,c) holds in[r + 4c]; apply the initial
+		// AddRoundKey locally.
+		for id, n := range nodes {
+			_ = id
+			n.curByte = block[n.row+4*n.col] ^ ks.RoundKeyByte(0, n.row, n.col)
+			n.round = 1
+			n.subDone = false
+			n.shiftReady = false
+			n.colHave = [4]bool{}
+			n.done = false
+			n.finalSet = false
+			n.held = nil
+			n.readyAt = net.Cycle() + int64(cfg.ComputeCycles)
+		}
+
+		for {
+			if net.Cycle() > cfg.MaxCycles {
+				var stuck string
+				for r := 0; r < 4; r++ {
+					for c := 0; c < 4; c++ {
+						n := nodes[NodeID(r, c)]
+						if !n.done {
+							stuck += fmt.Sprintf(" node%d(round=%d sub=%v shift=%v col=%v held=%d)",
+								n.id, n.round, n.subDone, n.shiftReady, n.colHave, len(n.held))
+						}
+					}
+				}
+				return nil, fmt.Errorf("aes: run exceeded %d cycles (possible deadlock); stuck:%s",
+					cfg.MaxCycles, stuck)
+			}
+			allDone := true
+			for r := 0; r < 4; r++ {
+				for c := 0; c < 4; c++ {
+					n := nodes[NodeID(r, c)]
+					if err := stepNode(net, ks, n, inbox, cfg); err != nil {
+						return nil, err
+					}
+					if !n.done {
+						allDone = false
+					}
+				}
+			}
+			if allDone && net.Pending() == 0 {
+				break
+			}
+			net.Step()
+		}
+
+		ct := make([]byte, BlockBytes)
+		for _, n := range nodes {
+			ct[n.row+4*n.col] = n.curByte
+		}
+		result.Ciphertexts = append(result.Ciphertexts, ct)
+	}
+
+	result.TotalCycles = net.Cycle()
+	result.CyclesPerBlock = float64(net.Cycle()) / float64(len(blocks))
+	result.Stats = net.Stats()
+	return &result, nil
+}
+
+// stepNode advances one node's state machine at the current cycle:
+// consume inbox messages, complete due computations, inject messages.
+func stepNode(net *noc.Network, ks KeySchedule, n *nodeState, inbox map[graph.NodeID][]message, cfg DistConfig) error {
+	if n.done {
+		return nil
+	}
+	// Drain inbox plus any messages held from earlier cycles. Messages
+	// for future rounds are held back; messages for past rounds indicate
+	// a protocol bug.
+	msgs := append(n.held, inbox[n.id]...)
+	n.held = nil
+	inbox[n.id] = nil
+	for _, m := range msgs {
+		if m.round > n.round {
+			n.held = append(n.held, m)
+			continue
+		}
+		if m.round < n.round {
+			return fmt.Errorf("aes: node %d got stale %v message for round %d during round %d",
+				n.id, m.kind, m.round, n.round)
+		}
+		switch m.kind {
+		case msgShift:
+			n.shiftByte = m.value
+			n.shiftReady = true
+			if err := onShiftReady(net, ks, n); err != nil {
+				return err
+			}
+		case msgColumn:
+			n.colBytes[m.srcRow] = m.value
+			n.colHave[m.srcRow] = true
+		}
+	}
+
+	// Local compute completion: SubBytes then the ShiftRows send.
+	if !n.subDone && net.Cycle() >= n.readyAt {
+		n.subDone = true
+		n.curByte = SBox(n.curByte)
+		if n.row == 0 {
+			// Shift by zero: own byte is already in place.
+			n.shiftByte = n.curByte
+			n.shiftReady = true
+			if err := onShiftReady(net, ks, n); err != nil {
+				return err
+			}
+		} else {
+			dst := NodeID(n.row, ((n.col-n.row)%4+4)%4)
+			p, err := net.Inject(n.id, dst, 8, fmt.Sprintf("shift-r%d", n.round))
+			if err != nil {
+				return err
+			}
+			p.Payload = message{kind: msgShift, round: n.round, value: n.curByte}
+		}
+	}
+
+	// MixColumns completion: own shifted byte plus the three peers.
+	if n.shiftReady && n.round <= Rounds-1 {
+		have := 0
+		for r := 0; r < 4; r++ {
+			if r == n.row || n.colHave[r] {
+				have++
+			}
+		}
+		if have == 4 {
+			var v byte
+			for j := 0; j < 4; j++ {
+				src := n.shiftByte
+				if j != n.row {
+					src = n.colBytes[j]
+				}
+				v ^= GMul(MixColumnCoeff(n.row, j), src)
+			}
+			n.curByte = v ^ ks.RoundKeyByte(n.round, n.row, n.col)
+			n.advanceRound(net, cfg)
+		}
+	}
+
+	// Final-round completion: the node must have computed its final byte
+	// (incoming shift applied) AND finished its own SubBytes send.
+	if n.round == Rounds && n.finalSet && n.subDone && !n.done {
+		n.curByte = n.outByte
+		n.done = true
+	}
+	return nil
+}
+
+// onShiftReady fires when the node's post-ShiftRows byte is in place:
+// either broadcast it to the column (full rounds) or finish (last round).
+func onShiftReady(net *noc.Network, ks KeySchedule, n *nodeState) error {
+	if n.round == Rounds {
+		// Final round: no MixColumns. The result lands in outByte, not
+		// curByte — the node's own SubBytes may not have run yet and still
+		// needs the working byte. The node is also NOT done yet: it may
+		// still owe its own shift byte to its row partner; stepNode
+		// declares done only once subDone also holds.
+		n.outByte = n.shiftByte ^ ks.RoundKeyByte(Rounds, n.row, n.col)
+		n.finalSet = true
+		return nil
+	}
+	for r := 0; r < 4; r++ {
+		if r == n.row {
+			continue
+		}
+		p, err := net.Inject(n.id, NodeID(r, n.col), 8, fmt.Sprintf("col-r%d", n.round))
+		if err != nil {
+			return err
+		}
+		p.Payload = message{kind: msgColumn, round: n.round, srcRow: n.row, value: n.shiftByte}
+	}
+	return nil
+}
+
+// advanceRound resets per-round state and schedules the next SubBytes.
+func (n *nodeState) advanceRound(net *noc.Network, cfg DistConfig) {
+	n.round++
+	n.subDone = false
+	n.shiftReady = false
+	n.colHave = [4]bool{}
+	n.readyAt = net.Cycle() + int64(cfg.ComputeCycles)
+}

@@ -1,0 +1,464 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+	"repro/internal/primitives"
+)
+
+// aesACG builds the Application Characterization Graph of the distributed
+// AES implementation (paper Figure 6a): 16 nodes, columns {1,5,9,13} etc.
+// in all-to-all exchange (MixColumns), row 2 and row 4 as directed cycles
+// (ShiftRows by 1 and 3), and row 3 as two swap pairs (ShiftRows by 2).
+func aesACG(volume, bandwidth float64) *graph.Graph {
+	g := graph.New("aes-acg")
+	for col := 1; col <= 4; col++ {
+		ids := []graph.NodeID{
+			graph.NodeID(col), graph.NodeID(col + 4),
+			graph.NodeID(col + 8), graph.NodeID(col + 12),
+		}
+		for _, i := range ids {
+			for _, j := range ids {
+				if i != j {
+					g.AddEdge(graph.Edge{From: i, To: j, Volume: volume, Bandwidth: bandwidth})
+				}
+			}
+		}
+	}
+	// Row 2: 5 -> 6 -> 7 -> 8 -> 5.
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.Edge{
+			From: graph.NodeID(5 + i), To: graph.NodeID(5 + (i+1)%4),
+			Volume: volume, Bandwidth: bandwidth,
+		})
+	}
+	// Row 4: 13 -> 14 -> 15 -> 16 -> 13.
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.Edge{
+			From: graph.NodeID(13 + i), To: graph.NodeID(13 + (i+1)%4),
+			Volume: volume, Bandwidth: bandwidth,
+		})
+	}
+	// Row 3: swaps 9<->11 and 10<->12.
+	for _, pr := range [][2]graph.NodeID{{9, 11}, {10, 12}} {
+		g.AddEdge(graph.Edge{From: pr[0], To: pr[1], Volume: volume, Bandwidth: bandwidth})
+		g.AddEdge(graph.Edge{From: pr[1], To: pr[0], Volume: volume, Bandwidth: bandwidth})
+	}
+	return g
+}
+
+func defaultProblem(acg *graph.Graph, mode CostMode) Problem {
+	return Problem{
+		ACG:     acg,
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: Options{Mode: mode, Timeout: 30 * time.Second},
+	}
+}
+
+func TestSolveRejectsBadInput(t *testing.T) {
+	lib := primitives.MustDefault()
+	if _, err := Solve(Problem{ACG: nil, Library: lib}); err != ErrNoACG {
+		t.Fatalf("nil ACG: err = %v", err)
+	}
+	empty := graph.New("e")
+	if _, err := Solve(Problem{ACG: empty, Library: lib}); err != ErrNoACG {
+		t.Fatalf("empty ACG: err = %v", err)
+	}
+	g := graph.New("g")
+	g.SetEdge(graph.Edge{From: 1, To: 2, Volume: 1})
+	if _, err := Solve(Problem{ACG: g, Library: nil}); err != ErrNoLibrary {
+		t.Fatalf("nil library: err = %v", err)
+	}
+	bad := graph.New("bad")
+	bad.SetEdge(graph.Edge{From: 1, To: 2, Volume: -4})
+	if _, err := Solve(Problem{ACG: bad, Library: lib}); err == nil {
+		t.Fatal("negative volume accepted")
+	}
+}
+
+func TestSolveEdgelessGraphIsEmptyDecomposition(t *testing.T) {
+	g := graph.New("isolated")
+	g.AddNode(1)
+	g.AddNode(2)
+	res, err := Solve(defaultProblem(g, CostEnergy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Best.Matches) != 0 || res.Best.Cost != 0 {
+		t.Fatalf("edgeless graph: %+v", res.Best)
+	}
+}
+
+func TestSolvePureGossipGraphLinkMode(t *testing.T) {
+	// A K4 digraph is exactly MGG4's representation: in link mode the
+	// 4-link MGG4 beats any composition of loops/paths/broadcasts.
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 8, 1)
+	res, err := Solve(defaultProblem(g, CostLinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition found")
+	}
+	if len(res.Best.Matches) != 1 || res.Best.Matches[0].Primitive.Name != "MGG4" {
+		t.Fatalf("matches = %v", res.Best.Matches)
+	}
+	if res.Best.Remainder.EdgeCount() != 0 {
+		t.Fatalf("remainder edges = %d, want 0", res.Best.Remainder.EdgeCount())
+	}
+	if res.Best.Cost != 4 {
+		t.Fatalf("cost = %g, want 4 links", res.Best.Cost)
+	}
+	if err := res.Best.CoverIsExact(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAESReproducesPaperDecomposition(t *testing.T) {
+	// Section 5.2: the algorithm finds 4 column gossips, 2 row loops and
+	// reports row 3 as the remainder, at cost 28 in the link metric
+	// (4x4 + 2x4 + 4 remainder edges).
+	g := aesACG(8, 1)
+	res, err := Solve(defaultProblem(g, CostLinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition found")
+	}
+	var gossips, loops, others int
+	for _, m := range res.Best.Matches {
+		switch m.Primitive.Name {
+		case "MGG4":
+			gossips++
+			// Each gossip must cover exactly one column.
+			cols := map[int]bool{}
+			for _, v := range m.Mapping {
+				cols[(int(v)-1)%4] = true
+			}
+			if len(cols) != 1 {
+				t.Fatalf("gossip spans multiple columns: %v", m.Mapping)
+			}
+		case "L4":
+			loops++
+		default:
+			others++
+		}
+	}
+	if gossips != 4 || loops != 2 || others != 0 {
+		t.Fatalf("matches: %d gossips, %d loops, %d others (want 4, 2, 0)\n%s",
+			gossips, loops, others, res.Best.PaperListing())
+	}
+	if res.Best.Remainder.EdgeCount() != 4 {
+		t.Fatalf("remainder edges = %d, want 4 (row 3 swaps)", res.Best.Remainder.EdgeCount())
+	}
+	if res.Best.Cost != 28 {
+		t.Fatalf("cost = %g, want 28", res.Best.Cost)
+	}
+	if err := res.Best.CoverIsExact(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveEnergyModeUsesFloorplanDistances(t *testing.T) {
+	// Two identical ACGs, one with a compact placement and one stretched:
+	// the stretched one must cost more.
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 128, 1)
+	near := floorplan.Grid(4, 1, 1, 0.1)
+	far := floorplan.Grid(4, 1, 1, 5.0)
+
+	p1 := defaultProblem(g, CostEnergy)
+	p1.Placement = near
+	r1, err := Solve(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := defaultProblem(g, CostEnergy)
+	p2.Placement = far
+	r2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Best == nil || r2.Best == nil {
+		t.Fatal("missing decomposition")
+	}
+	if r2.Best.Cost <= r1.Best.Cost {
+		t.Fatalf("stretched placement not more expensive: %g vs %g", r2.Best.Cost, r1.Best.Cost)
+	}
+}
+
+func TestSolvePlantedPrimitivesRecoveredNoRemainder(t *testing.T) {
+	// Figure 5 situation: a graph assembled from planted primitives
+	// decomposes with no remaining graph.
+	g := graph.New("planted")
+	// MGG4 on {1,2,5,6}.
+	for _, e := range graph.CompleteDigraph("", []graph.NodeID{1, 2, 5, 6}, 4, 1).Edges() {
+		g.AddEdge(e)
+	}
+	// G123: 3 -> {2,5,6}; 7 -> {3,5,6}; 4 -> {5,6,7}.
+	for _, spec := range []struct {
+		root   graph.NodeID
+		leaves []graph.NodeID
+	}{
+		{3, []graph.NodeID{2, 5, 6}},
+		{7, []graph.NodeID{3, 5, 6}},
+		{4, []graph.NodeID{5, 6, 7}},
+	} {
+		for _, l := range spec.leaves {
+			g.AddEdge(graph.Edge{From: spec.root, To: l, Volume: 4, Bandwidth: 1})
+		}
+	}
+	// G124: 8 -> {1,3,6,7}.
+	for _, l := range []graph.NodeID{1, 3, 6, 7} {
+		g.AddEdge(graph.Edge{From: 8, To: l, Volume: 4, Bandwidth: 1})
+	}
+
+	res, err := Solve(defaultProblem(g, CostLinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition")
+	}
+	if res.Best.Remainder.EdgeCount() != 0 {
+		t.Fatalf("remainder edges = %d, want 0\n%s",
+			res.Best.Remainder.EdgeCount(), res.Best.PaperListing())
+	}
+	if err := res.Best.CoverIsExact(g); err != nil {
+		t.Fatal(err)
+	}
+	// The planted cover costs 4 (MGG4) + 3x3 (G123) + 4 (G124) = 17 links;
+	// the solver may do equal or better, never worse.
+	if res.Best.Cost > 17 {
+		t.Fatalf("cost = %g, want <= 17", res.Best.Cost)
+	}
+}
+
+func TestSolveLinkBandwidthConstraintRejects(t *testing.T) {
+	// K4 with heavy bandwidth: MGG4 funnels two flows over shared ring
+	// links, exceeding a tight link capacity; with the capacity above the
+	// aggregate it passes.
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 8, 100)
+
+	tight := defaultProblem(g, CostLinks)
+	tight.Constraints = Constraints{LinkBandwidthMbps: 150}
+	rt, err := Solve(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MGG4 ring link carries its direct flows (2x100, both directions)
+	// plus relayed flows; 150 Mbps cannot hold them.
+	if rt.Best != nil {
+		for _, m := range rt.Best.Matches {
+			if m.Primitive.Name == "MGG4" {
+				t.Fatalf("MGG4 selected despite violating link capacity:\n%s", rt.Best.PaperListing())
+			}
+		}
+	}
+	if rt.Stats.ConstraintFails == 0 {
+		t.Fatal("no constraint failures recorded")
+	}
+
+	loose := defaultProblem(g, CostLinks)
+	loose.Constraints = Constraints{LinkBandwidthMbps: 10000}
+	rl, err := Solve(loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Best == nil || rl.Best.Cost != 4 {
+		t.Fatal("loose capacity should allow the MGG4 decomposition")
+	}
+}
+
+func TestSolveBisectionConstraint(t *testing.T) {
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 8, 100)
+	p := defaultProblem(g, CostLinks)
+	p.Constraints = Constraints{MaxBisectionMbps: 1} // absurdly tight
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Fatalf("decomposition accepted despite bisection cap:\n%s", res.Best.PaperListing())
+	}
+}
+
+func TestSolveTimeoutReturnsBestSoFar(t *testing.T) {
+	g := aesACG(8, 1)
+	p := defaultProblem(g, CostLinks)
+	p.Options.Timeout = 1 * time.Nanosecond
+	res, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatal("TimedOut not set")
+	}
+}
+
+func TestBoundAblationSameOptimumFewerNodes(t *testing.T) {
+	g := aesACG(8, 1)
+
+	with := defaultProblem(g, CostLinks)
+	rw, err := Solve(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := defaultProblem(g, CostLinks)
+	without.Options.DisableBound = true
+	without.Options.Timeout = 60 * time.Second
+	rwo, err := Solve(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Best == nil || rwo.Best == nil {
+		t.Fatal("missing decomposition")
+	}
+	if rw.Best.Cost != rwo.Best.Cost {
+		t.Fatalf("bound changed the optimum: %g vs %g", rw.Best.Cost, rwo.Best.Cost)
+	}
+	if !rwo.Stats.TimedOut && rw.Stats.NodesExplored > rwo.Stats.NodesExplored {
+		t.Fatalf("bound explored more nodes: %d vs %d",
+			rw.Stats.NodesExplored, rwo.Stats.NodesExplored)
+	}
+}
+
+func TestPaperListingFormat(t *testing.T) {
+	g := aesACG(8, 1)
+	res, err := Solve(defaultProblem(g, CostLinks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	listing := res.Best.PaperListing()
+	if !strings.HasPrefix(listing, "COST: 28") {
+		t.Fatalf("listing header: %q", listing)
+	}
+	if !strings.Contains(listing, "MGG4,\tMapping:") {
+		t.Fatalf("listing missing MGG4 mapping line:\n%s", listing)
+	}
+	if !strings.Contains(listing, "0: Remaining Graph:") {
+		t.Fatalf("listing missing remainder line:\n%s", listing)
+	}
+	// Indentation: each successive match is indented one more space.
+	lines := strings.Split(listing, "\n")
+	for i := 2; i < len(lines); i++ {
+		if strings.Contains(lines[i], "Mapping:") {
+			prevIndent := len(lines[i-1]) - len(strings.TrimLeft(lines[i-1], " "))
+			curIndent := len(lines[i]) - len(strings.TrimLeft(lines[i], " "))
+			if curIndent != prevIndent+1 {
+				t.Fatalf("indentation step wrong at line %d:\n%s", i, listing)
+			}
+		}
+	}
+}
+
+func TestMatchMappedRoute(t *testing.T) {
+	lib := primitives.MustDefault()
+	mgg4 := lib.ByName("MGG4")
+	m := Match{
+		Primitive: mgg4,
+		Mapping:   map[graph.NodeID]graph.NodeID{1: 10, 2: 20, 3: 30, 4: 40},
+	}
+	// Section 4.5: route 1->4 goes via 3; mapped: 10 -> 30 -> 40.
+	route, ok := m.MappedRoute(10, 40)
+	if !ok || len(route) != 3 || route[0] != 10 || route[1] != 30 || route[2] != 40 {
+		t.Fatalf("mapped route = %v, ok=%v", route, ok)
+	}
+	if _, ok := m.MappedRoute(10, 99); ok {
+		t.Fatal("route to unmapped vertex should fail")
+	}
+}
+
+func TestCoverIsExactDetectsDoubleCover(t *testing.T) {
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 1, 1)
+	lib := primitives.MustDefault()
+	mgg4 := lib.ByName("MGG4")
+	m := Match{Primitive: mgg4, Mapping: map[graph.NodeID]graph.NodeID{1: 1, 2: 2, 3: 3, 4: 4}}
+	d := &Decomposition{
+		Matches:   []Match{m, m}, // same edges twice
+		Remainder: graph.New("r"),
+	}
+	if err := d.CoverIsExact(g); err == nil {
+		t.Fatal("double cover accepted")
+	}
+}
+
+func TestCoverIsExactDetectsMissingEdges(t *testing.T) {
+	g := graph.CompleteDigraph("k4", graph.Range(1, 4), 1, 1)
+	g.SetEdge(graph.Edge{From: 1, To: 5, Volume: 1}) // extra uncovered edge
+	lib := primitives.MustDefault()
+	m := Match{
+		Primitive: lib.ByName("MGG4"),
+		Mapping:   map[graph.NodeID]graph.NodeID{1: 1, 2: 2, 3: 3, 4: 4},
+	}
+	d := &Decomposition{Matches: []Match{m}, Remainder: graph.New("r")}
+	if err := d.CoverIsExact(g); err == nil {
+		t.Fatal("missing edge not detected")
+	}
+}
+
+// Property: on random small graphs, any returned decomposition exactly
+// covers the input and its cost is consistent with its parts.
+func TestPropertyDecompositionExactCover(t *testing.T) {
+	lib := primitives.MustDefault()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(4)
+		g := graph.New("rand")
+		for i := 1; i <= n; i++ {
+			g.AddNode(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i != j && rng.Float64() < 0.35 {
+					g.SetEdge(graph.Edge{
+						From: graph.NodeID(i), To: graph.NodeID(j),
+						Volume: float64(1 + rng.Intn(16)), Bandwidth: 1,
+					})
+				}
+			}
+		}
+		if g.EdgeCount() == 0 {
+			return true
+		}
+		res, err := Solve(Problem{
+			ACG:     g,
+			Library: lib,
+			Energy:  energy.Tech130,
+			Options: Options{Mode: CostEnergy, Timeout: 5 * time.Second},
+		})
+		if err != nil {
+			return false
+		}
+		if res.Best == nil {
+			return res.Stats.TimedOut
+		}
+		if err := res.Best.CoverIsExact(g); err != nil {
+			return false
+		}
+		// Cost must equal sum of parts.
+		sum := res.Best.RemainderCost
+		for _, m := range res.Best.Matches {
+			sum += m.Cost
+		}
+		return absDiff(sum, res.Best.Cost) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"repro/internal/graph"
+)
+
+// coster evaluates Equation 5 match costs, remainder costs and the
+// admissible lower bound against the problem's placement and energy model.
+type coster struct {
+	p           *Problem
+	cachedRatio float64
+}
+
+// linkLength returns the physical length of a link between cores u and v:
+// the Manhattan distance between their centers, or 1 mm without a
+// placement.
+func (c *coster) linkLength(u, v graph.NodeID) float64 {
+	if c.p.Placement == nil || !c.p.Placement.Has(u) || !c.p.Placement.Has(v) {
+		return 1
+	}
+	return c.p.Placement.ManhattanDistance(u, v)
+}
+
+// straightLine returns the Euclidean distance between cores, the admissible
+// wire lower bound; 1 mm without a placement (matching linkLength so the
+// bound stays admissible).
+func (c *coster) straightLine(u, v graph.NodeID) float64 {
+	if c.p.Placement == nil || !c.p.Placement.Has(u) || !c.p.Placement.Has(v) {
+		return 1
+	}
+	return c.p.Placement.EuclideanDistance(u, v)
+}
+
+// matchCost evaluates the match cost. In energy mode this is Equation 5:
+// every covered ACG edge's volume travels the primitive's optimal-schedule
+// route, whose per-hop lengths come from the floorplan. In link mode it is
+// the implementation-link count.
+func (c *coster) matchCost(m Match) float64 {
+	if c.p.Options.Mode == CostLinks {
+		return float64(m.Primitive.ImplLinkCount())
+	}
+	var total float64
+	for _, e := range m.Primitive.Rep.Edges() {
+		u, v := m.Mapping[e.From], m.Mapping[e.To]
+		acgEdge, ok := c.p.ACG.EdgeBetween(u, v)
+		if !ok {
+			continue
+		}
+		route, ok := m.MappedRoute(u, v)
+		if !ok {
+			continue
+		}
+		lengths := make([]float64, 0, len(route)-1)
+		for i := 0; i+1 < len(route); i++ {
+			lengths = append(lengths, c.linkLength(route[i], route[i+1]))
+		}
+		total += c.p.Energy.TransferEnergy(acgEdge.Volume, lengths)
+	}
+	return total
+}
+
+// remainderCost prices the remainder graph: each leftover edge becomes a
+// dedicated point-to-point link (two switch traversals, one link at the
+// floorplanned distance in energy mode; one unit per directed edge in link
+// mode).
+func (c *coster) remainderCost(r *graph.Graph) float64 {
+	if c.p.Options.Mode == CostLinks {
+		return float64(r.EdgeCount())
+	}
+	var total float64
+	for _, e := range r.Edges() {
+		total += c.p.Energy.TransferEnergy(e.Volume, []float64{c.linkLength(e.From, e.To)})
+	}
+	return total
+}
+
+// lowerBound is the "minimum remaining cost" of Figure 3: an admissible
+// estimate of the cheapest possible implementation of the remaining graph.
+// Every remaining edge must move v(e) bits between its endpoint cores
+// through at least two switches and wire no shorter than their straight-
+// line separation, regardless of which primitive (or the remainder) ends
+// up carrying it.
+func (c *coster) lowerBound(r *graph.Graph) float64 {
+	if c.p.Options.Mode == CostLinks {
+		// Two admissible bounds, combined by max. (1) Every vertex that
+		// still sends or receives needs at least one incident physical
+		// link, and one link serves two vertices. (2) No library primitive
+		// covers more than maxCoverPerLink representation edges per
+		// implementation link, and a remainder edge is 1:1, so covering E
+		// edges needs at least E/maxCoverPerLink links.
+		active := 0
+		for _, n := range r.Nodes() {
+			if r.Degree(n) > 0 {
+				active++
+			}
+		}
+		byDegree := float64((active + 1) / 2)
+		byRatio := float64(r.EdgeCount()) / c.maxCoverPerLink()
+		if byRatio > byDegree {
+			return byRatio
+		}
+		return byDegree
+	}
+	var total float64
+	for _, e := range r.Edges() {
+		total += e.Volume * c.p.Energy.MinBitEnergy(c.straightLine(e.From, e.To))
+	}
+	return total
+}
+
+// maxCoverPerLink returns the best edges-covered-per-link ratio any
+// library primitive achieves (at least 1, the remainder's ratio).
+func (c *coster) maxCoverPerLink() float64 {
+	if c.cachedRatio > 0 {
+		return c.cachedRatio
+	}
+	best := 1.0
+	for _, p := range c.p.Library.Primitives() {
+		if links := p.ImplLinkCount(); links > 0 {
+			if r := float64(p.Rep.EdgeCount()) / float64(links); r > best {
+				best = r
+			}
+		}
+	}
+	c.cachedRatio = best
+	return best
+}
+
+// linkDemands aggregates, for a complete decomposition, the bandwidth
+// demand on every physical link of the implied architecture. Links are
+// undirected (a physical channel pair); the key is the ordered (min,max)
+// vertex pair. Demands of both directions accumulate, matching the
+// bandwidth feasibility condition of Section 4.2: b(e_ij^I) must cover the
+// sum of b(e) over all ACG edges mapped onto that implementation edge.
+func (c *coster) linkDemands(d *Decomposition) map[[2]graph.NodeID]float64 {
+	demands := make(map[[2]graph.NodeID]float64)
+	add := func(a, b graph.NodeID, bw float64) {
+		if a > b {
+			a, b = b, a
+		}
+		demands[[2]graph.NodeID{a, b}] += bw
+	}
+	for _, m := range d.Matches {
+		for _, key := range m.CoveredEdges() {
+			acgEdge, ok := c.p.ACG.EdgeBetween(key[0], key[1])
+			if !ok {
+				continue
+			}
+			route, ok := m.MappedRoute(key[0], key[1])
+			if !ok {
+				continue
+			}
+			for i := 0; i+1 < len(route); i++ {
+				add(route[i], route[i+1], acgEdge.Bandwidth)
+			}
+		}
+	}
+	if d.Remainder != nil {
+		for _, e := range d.Remainder.Edges() {
+			add(e.From, e.To, e.Bandwidth)
+		}
+	}
+	return demands
+}
+
+// checkConstraints applies Section 4.2 feasibility to a complete
+// decomposition: per-link aggregated bandwidth against the link capacity,
+// and the architecture's bisection bandwidth against the technology
+// maximum.
+func (c *coster) checkConstraints(d *Decomposition) bool {
+	cons := c.p.Constraints
+	if cons.LinkBandwidthMbps == 0 && cons.MaxBisectionMbps == 0 {
+		return true
+	}
+	demands := c.linkDemands(d)
+	if cons.LinkBandwidthMbps > 0 {
+		for _, bw := range demands {
+			if bw > cons.LinkBandwidthMbps {
+				return false
+			}
+		}
+	}
+	if cons.MaxBisectionMbps > 0 {
+		arch := graph.New("arch")
+		for _, n := range c.p.ACG.Nodes() {
+			arch.AddNode(n)
+		}
+		for key, bw := range demands {
+			// Model the physical channel pair as two directed edges each
+			// carrying half the aggregate so the cut sums to the demand.
+			arch.SetEdge(graph.Edge{From: key[0], To: key[1], Bandwidth: bw / 2})
+			arch.SetEdge(graph.Edge{From: key[1], To: key[0], Bandwidth: bw / 2})
+		}
+		if arch.BisectionBandwidth() > cons.MaxBisectionMbps {
+			return false
+		}
+	}
+	return true
+}

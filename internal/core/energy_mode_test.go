@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/primitives"
+)
+
+// Energy-mode regression on the AES ACG: the search must terminate well
+// inside the budget, produce an exact cover, and respect the Equation 5
+// accounting (cost equals the sum of match costs plus the remainder).
+func TestSolveAESEnergyMode(t *testing.T) {
+	g := aesACG(8, 1)
+	res, err := Solve(Problem{
+		ACG:       g,
+		Library:   primitives.MustDefault(),
+		Placement: floorplan.Grid(16, 1, 1, 0.2),
+		Energy:    energy.Tech180,
+		Options:   Options{Mode: CostEnergy, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition")
+	}
+	if res.Stats.TimedOut {
+		t.Fatal("energy-mode AES search timed out")
+	}
+	if err := res.Best.CoverIsExact(g); err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Best.RemainderCost
+	for _, m := range res.Best.Matches {
+		sum += m.Cost
+	}
+	if d := sum - res.Best.Cost; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("cost bookkeeping off: parts %g vs total %g", sum, res.Best.Cost)
+	}
+	// Under pure Equation 5 with no wiring constraints, direct links are
+	// the cheapest carrier for every flow, so the energy optimum must
+	// not exceed the all-remainder cost.
+	c := coster{p: &Problem{
+		ACG:       g,
+		Library:   primitives.MustDefault(),
+		Placement: floorplan.Grid(16, 1, 1, 0.2),
+		Energy:    energy.Tech180,
+		Options:   Options{Mode: CostEnergy},
+	}}
+	allDirect := c.remainderCost(g)
+	if res.Best.Cost > allDirect+1e-6 {
+		t.Fatalf("energy optimum %g exceeds all-direct cost %g", res.Best.Cost, allDirect)
+	}
+}
+
+// The energy and link metrics must disagree on the AES instance in the
+// documented way: link mode consolidates onto gossip rings (28 links of
+// cost), energy mode prefers direct links.
+func TestSolveAESModesDiffer(t *testing.T) {
+	g := aesACG(8, 1)
+	links, err := Solve(Problem{
+		ACG:     g,
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: Options{Mode: CostLinks, Timeout: 30 * time.Second},
+	})
+	if err != nil || links.Best == nil {
+		t.Fatalf("link mode: %v", err)
+	}
+	en, err := Solve(Problem{
+		ACG:       g,
+		Library:   primitives.MustDefault(),
+		Placement: floorplan.Grid(16, 1, 1, 0.2),
+		Energy:    energy.Tech180,
+		Options:   Options{Mode: CostEnergy, Timeout: 30 * time.Second},
+	})
+	if err != nil || en.Best == nil {
+		t.Fatalf("energy mode: %v", err)
+	}
+	var linkGossips, energyGossips int
+	for _, m := range links.Best.Matches {
+		if m.Primitive.Name == "MGG4" {
+			linkGossips++
+		}
+	}
+	for _, m := range en.Best.Matches {
+		if m.Primitive.Name == "MGG4" {
+			energyGossips++
+		}
+	}
+	if linkGossips != 4 {
+		t.Fatalf("link mode gossips = %d, want 4", linkGossips)
+	}
+	// Energy mode has no reason to relay through gossip rings.
+	if energyGossips > linkGossips {
+		t.Fatalf("energy mode used more gossips (%d) than link mode (%d)",
+			energyGossips, linkGossips)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/primitives"
+)
+
+// ErrNoACG is returned when the problem has no application graph.
+var ErrNoACG = errors.New("decompose: nil or empty ACG")
+
+// ErrNoLibrary is returned when the problem has no communication library.
+var ErrNoLibrary = errors.New("decompose: nil or empty library")
+
+// Solve runs the branch-and-bound decomposition of Figure 3 and returns
+// the minimum-cost legal decomposition together with search statistics.
+//
+// If every complete decomposition violates the constraints, Best is nil.
+// On timeout the best decomposition found so far (possibly nil) is
+// returned with Stats.TimedOut set.
+func Solve(p Problem) (Result, error) {
+	if p.ACG == nil || p.ACG.NodeCount() == 0 {
+		return Result{}, ErrNoACG
+	}
+	if p.Library == nil || p.Library.Len() == 0 {
+		return Result{}, ErrNoLibrary
+	}
+	for _, e := range p.ACG.Edges() {
+		if e.Volume < 0 || e.Bandwidth < 0 {
+			return Result{}, fmt.Errorf("decompose: edge %v has negative annotation", e)
+		}
+	}
+
+	s := &solver{
+		p:      p,
+		coster: coster{p: &p},
+		start:  time.Now(),
+	}
+	if p.Options.Timeout > 0 {
+		s.deadline = s.start.Add(p.Options.Timeout)
+	}
+	s.matchLimit = p.Options.MatchLimit
+	if s.matchLimit == 0 {
+		s.matchLimit = DefaultMatchLimit
+	}
+	s.isoLimit = p.Options.IsoLimit
+	if s.isoLimit == 0 {
+		s.isoLimit = DefaultIsoLimit
+	}
+
+	// Figure 3: currentCost = 0; minCost = inf.
+	s.bestCost = math.Inf(1)
+	s.dfs(p.ACG, nil, 0, "")
+	s.stats.Elapsed = time.Since(s.start)
+	return Result{Best: s.best, Stats: s.stats}, nil
+}
+
+type solver struct {
+	p      Problem
+	coster coster
+
+	matchLimit int
+	isoLimit   int
+	deadline   time.Time
+	start      time.Time
+
+	best     *Decomposition
+	bestCost float64
+	stats    Stats
+}
+
+func (s *solver) timedOut() bool {
+	if s.deadline.IsZero() {
+		return false
+	}
+	if time.Now().After(s.deadline) {
+		s.stats.TimedOut = true
+		return true
+	}
+	return false
+}
+
+// dfs explores one decomposition-tree node: remaining is the graph still
+// to cover, matches the path from the root, cost the accumulated match
+// cost.
+//
+// Because matches in one decomposition are pairwise edge-disjoint, a
+// decomposition is a *set* of matches: every permutation of the same set
+// reaches the same leaf. The search therefore expands matches in canonical
+// rank order (library index, then covered-edge key) — only candidates
+// ranking above the last expanded match (minRank) branch, which eliminates
+// the factorial permutation blow-up without excluding any decomposition.
+// Whether *any* match exists (the paper's leaf condition) is still judged
+// over all candidates, ignoring rank.
+func (s *solver) dfs(remaining *graph.Graph, matches []Match, cost float64, minRank string) {
+	if s.timedOut() {
+		return
+	}
+	s.stats.NodesExplored++
+
+	// Figure 3 bound: currentCost + minimum remaining cost vs minCost.
+	if !s.p.Options.DisableBound {
+		if cost+s.coster.lowerBound(remaining) >= s.bestCost {
+			s.stats.BranchesPruned++
+			return
+		}
+	}
+
+	minPrim := -1
+	if len(minRank) >= 2 {
+		minPrim = int(minRank[0])<<8 | int(minRank[1])
+	}
+	expanded := false
+	for primIdx, prim := range s.p.Library.Primitives() {
+		if remaining.EdgeCount() < prim.Rep.EdgeCount() || remaining.NodeCount() < prim.Size {
+			continue
+		}
+		if primIdx < minPrim {
+			// Canonical ordering: no candidate of this primitive may
+			// expand below a higher-ranked match; the permutation that
+			// expands it earlier covers that part of the space.
+			continue
+		}
+		cands := s.enumerate(prim, remaining)
+		for _, cand := range cands {
+			if s.timedOut() {
+				return
+			}
+			rank := candRank(primIdx, cand.covered)
+			if rank <= minRank {
+				continue
+			}
+			expanded = true
+			s.stats.MatchingsTried++
+			cand.match.Depth = len(matches)
+			next := graph.SubtractEdges(remaining, cand.covered)
+			s.dfs(next, append(matches, cand.match), cost+cand.match.Cost, rank)
+		}
+	}
+
+	if expanded {
+		return
+	}
+
+	// Leaf: no further matching was expandable here. In the exhaustive
+	// search this coincides with the paper's leaf condition (no library
+	// graph matches the remaining graph, Figure 3: "ndCost = Cost of the
+	// Remaining Graph"). Under the match cap or the canonical-order filter
+	// a node may still have matches elsewhere in rank space; recording the
+	// leaf keeps the search sound — the result remains a legal exact-cover
+	// decomposition, with the un-expanded structure absorbed by the
+	// remainder.
+	s.stats.LeavesReached++
+	rc := s.coster.remainderCost(remaining)
+	total := cost + rc
+	if total >= s.bestCost {
+		return
+	}
+	d := &Decomposition{
+		Matches:       append([]Match(nil), matches...),
+		Remainder:     remaining.Clone(),
+		RemainderCost: rc,
+		Cost:          total,
+	}
+	d.Remainder.SetName("remainder")
+	if !s.coster.checkConstraints(d) {
+		s.stats.ConstraintFails++
+		return
+	}
+	s.best = d
+	s.bestCost = total
+}
+
+// candidate pairs a costed match with the ACG edges it covers.
+type candidate struct {
+	match   Match
+	covered [][2]graph.NodeID
+}
+
+// enumerate lists the matchings of one primitive in the remaining graph,
+// deduplicated by covered edge set (keeping the cheapest mapping — two
+// matchings that remove the same edges lead to identical subtrees, so only
+// the cheaper embedding can belong to the optimum), ranked by cost, and
+// capped at the match limit.
+func (s *solver) enumerate(prim *primitives.Primitive, remaining *graph.Graph) []candidate {
+	opts := iso.Options{}
+	if s.isoLimit > 0 {
+		opts.Limit = s.isoLimit
+	}
+	if s.p.Options.IsoTimeout > 0 {
+		opts.Deadline = time.Now().Add(s.p.Options.IsoTimeout)
+	}
+	if !s.deadline.IsZero() && (opts.Deadline.IsZero() || s.deadline.Before(opts.Deadline)) {
+		opts.Deadline = s.deadline
+	}
+	mappings, err := iso.FindAll(prim.Rep, remaining, opts)
+	if err != nil && len(mappings) == 0 {
+		return nil
+	}
+
+	bestByCover := make(map[string]candidate)
+	var order []string
+	for _, mp := range mappings {
+		m := Match{Primitive: prim, Mapping: mp}
+		covered := m.CoveredEdges()
+		m.Cost = s.coster.matchCost(m)
+		key := coverKey(covered)
+		old, ok := bestByCover[key]
+		if !ok {
+			order = append(order, key)
+			bestByCover[key] = candidate{match: m, covered: covered}
+		} else if m.Cost < old.match.Cost {
+			bestByCover[key] = candidate{match: m, covered: covered}
+		}
+	}
+	cands := make([]candidate, 0, len(order))
+	for _, key := range order {
+		cands = append(cands, bestByCover[key])
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].match.Cost < cands[j].match.Cost
+	})
+	if s.matchLimit > 0 && len(cands) > s.matchLimit {
+		cands = cands[:s.matchLimit]
+	}
+	return cands
+}
+
+// candRank builds the canonical expansion rank of a candidate: library
+// position then covered-edge key. Disjoint matches always differ in cover
+// key, so ranks are unique within a decomposition.
+func candRank(primIdx int, covered [][2]graph.NodeID) string {
+	return string([]byte{byte(primIdx >> 8), byte(primIdx)}) + coverKey(covered)
+}
+
+func coverKey(covered [][2]graph.NodeID) string {
+	b := make([]byte, 0, len(covered)*8)
+	for _, k := range covered {
+		b = append(b,
+			byte(k[0]>>8), byte(k[0]),
+			byte(k[1]>>8), byte(k[1]),
+		)
+	}
+	return string(b)
+}

@@ -1,0 +1,75 @@
+// Package fft implements a radix-2 decimation-in-time FFT and its
+// distributed mapping onto one-sample-per-node NoC architectures.
+//
+// The FFT is the second workload class the NoC literature standardly
+// evaluates after block ciphers: its butterfly stages induce the
+// hypercube communication pattern — in stage s every node exchanges its
+// value with the node whose index differs in bit s-1 — which is exactly
+// the structured traffic the paper's communication library captures (the
+// 2-D faces of the hypercube are loops; the synthesized topology
+// converges to the hypercube's links instead of dilating them over a
+// mesh). Like the AES driver, the distributed transform computes real
+// results over simulated messages, verified against a direct DFT.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// DFT computes the discrete Fourier transform directly in O(n^2); the
+// ground truth for tests and for the distributed run.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// Transform computes the FFT of x (len a power of two) with the iterative
+// Cooley-Tukey algorithm. The input is not modified.
+func Transform(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d not a power of two", n)
+	}
+	out := make([]complex128, n)
+	logN := bits.TrailingZeros(uint(n))
+	for i := 0; i < n; i++ {
+		out[bitrev(i, logN)] = x[i]
+	}
+	for s := 1; s <= logN; s++ {
+		m := 1 << uint(s)
+		half := m >> 1
+		for k := 0; k < n; k += m {
+			for j := 0; j < half; j++ {
+				w := twiddle(j, m)
+				t := w * out[k+j+half]
+				u := out[k+j]
+				out[k+j] = u + t
+				out[k+j+half] = u - t
+			}
+		}
+	}
+	return out, nil
+}
+
+// twiddle returns exp(-2*pi*i*j/m).
+func twiddle(j, m int) complex128 {
+	angle := -2 * math.Pi * float64(j) / float64(m)
+	return cmplx.Exp(complex(0, angle))
+}
+
+// bitrev reverses the low `width` bits of i.
+func bitrev(i, width int) int {
+	return int(bits.Reverse32(uint32(i)) >> (32 - uint(width)))
+}

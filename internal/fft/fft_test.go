@@ -1,0 +1,135 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransformMatchesDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		got, err := Transform(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DFT(x)
+		if !approxEqual(got, want, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: FFT disagrees with DFT", n)
+		}
+	}
+}
+
+func TestTransformImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	got, err := Transform(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestTransformConstant(t *testing.T) {
+	// FFT of a constant is an impulse at DC of height n.
+	n := 16
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 1
+	}
+	got, _ := Transform(x)
+	if cmplx.Abs(got[0]-complex(float64(n), 0)) > 1e-9 {
+		t.Fatalf("DC = %v", got[0])
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(got[k]) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", k, got[k])
+		}
+	}
+}
+
+func TestTransformRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 12} {
+		if _, err := Transform(make([]complex128, n)); err == nil {
+			t.Fatalf("length %d accepted", n)
+		}
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	orig := append([]complex128(nil), x...)
+	if _, err := Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("input mutated")
+		}
+	}
+}
+
+// Property: Parseval's theorem — energy is preserved up to the 1/n
+// normalization convention.
+func TestPropertyParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		X, err := Transform(x)
+		if err != nil {
+			return false
+		}
+		var freqEnergy float64
+		for _, v := range X {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(freqEnergy/float64(n)-timeEnergy) < 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitrev(t *testing.T) {
+	if bitrev(0b0011, 4) != 0b1100 {
+		t.Fatalf("bitrev(0011) = %04b", bitrev(0b0011, 4))
+	}
+	if bitrev(1, 1) != 1 || bitrev(0, 3) != 0 {
+		t.Fatal("trivial bitrevs wrong")
+	}
+	// Involution.
+	for i := 0; i < 16; i++ {
+		if bitrev(bitrev(i, 4), 4) != i {
+			t.Fatalf("bitrev not involutive at %d", i)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. Edge labels show the volume
+// annotation when non-zero. The output is deterministic.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDOTName(g.name))
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for _, n := range g.Nodes() {
+		fmt.Fprintf(&b, "  n%d [label=\"%d\"];\n", n, n)
+	}
+	for _, e := range g.Edges() {
+		if e.Volume != 0 {
+			fmt.Fprintf(&b, "  n%d -> n%d [label=\"%g\"];\n", e.From, e.To, e.Volume)
+		} else {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// AdjacencyList renders a deterministic human-readable adjacency listing,
+// one line per vertex, used by the CLI tools for compact reports.
+func (g *Graph) AdjacencyList() string {
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		outs := g.OutNeighbors(n)
+		strs := make([]string, len(outs))
+		for i, m := range outs {
+			strs[i] = fmt.Sprintf("%d", m)
+		}
+		fmt.Fprintf(&b, "%d: %s\n", n, strings.Join(strs, " "))
+	}
+	return b.String()
+}
+
+// DegreeSequence returns the sorted (descending) total-degree sequence.
+// Degree sequences are used as a cheap iso-infeasibility filter.
+func (g *Graph) DegreeSequence() []int {
+	seq := make([]int, 0, g.NodeCount())
+	for _, n := range g.Nodes() {
+		seq = append(seq, g.Degree(n))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(seq)))
+	return seq
+}
+
+func sanitizeDOTName(s string) string {
+	if s == "" {
+		return "G"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,54 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonGraph is the wire form of a Graph used by the CLI tools: a list of
+// nodes (so isolated vertices survive a round trip) and a list of edges.
+type jsonGraph struct {
+	Name  string     `json:"name,omitempty"`
+	Nodes []NodeID   `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonEdge struct {
+	From      NodeID  `json:"from"`
+	To        NodeID  `json:"to"`
+	Volume    float64 `json:"volume,omitempty"`
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+}
+
+// MarshalJSON encodes the graph deterministically.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.name, Nodes: g.Nodes()}
+	for _, e := range g.Edges() {
+		jg.Edges = append(jg.Edges, jsonEdge(e))
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON decodes a graph previously produced by MarshalJSON (or
+// hand-written in the same schema). Edges between duplicate ordered pairs
+// are rejected.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return err
+	}
+	*g = *New(jg.Name)
+	for _, n := range jg.Nodes {
+		g.AddNode(n)
+	}
+	for _, e := range jg.Edges {
+		if e.From == e.To {
+			return fmt.Errorf("graph %q: self-loop on node %d not allowed", jg.Name, e.From)
+		}
+		if g.HasEdge(e.From, e.To) {
+			return fmt.Errorf("graph %q: duplicate edge %d->%d", jg.Name, e.From, e.To)
+		}
+		g.SetEdge(Edge(e))
+	}
+	return nil
+}

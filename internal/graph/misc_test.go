@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEdgeReversed(t *testing.T) {
+	e := Edge{From: 3, To: 7, Volume: 12, Bandwidth: 4}
+	r := e.Reversed()
+	if r.From != 7 || r.To != 3 || r.Volume != 12 || r.Bandwidth != 4 {
+		t.Fatalf("reversed = %+v", r)
+	}
+	// Double reversal is identity.
+	if r.Reversed() != e {
+		t.Fatal("double reversal not identity")
+	}
+}
+
+func TestEdgeKeyAndString(t *testing.T) {
+	e := Edge{From: 2, To: 9, Volume: 1}
+	if e.Key() != [2]NodeID{2, 9} {
+		t.Fatalf("key = %v", e.Key())
+	}
+	if !strings.Contains(e.String(), "2->9") {
+		t.Fatalf("string = %q", e.String())
+	}
+}
+
+func TestGraphNameAndString(t *testing.T) {
+	g := New("alpha")
+	if g.Name() != "alpha" {
+		t.Fatal("name lost")
+	}
+	g.SetName("beta")
+	if g.Name() != "beta" {
+		t.Fatal("rename lost")
+	}
+	g.SetEdge(Edge{From: 1, To: 2})
+	s := g.String()
+	if !strings.Contains(s, "beta") || !strings.Contains(s, "V=2") || !strings.Contains(s, "E=1") {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestInOutDegreeConsistency(t *testing.T) {
+	g := Star("s", 1, []NodeID{2, 3, 4}, 0, 0)
+	if g.OutDegree(1) != 3 || g.InDegree(1) != 0 {
+		t.Fatalf("root degrees = %d/%d", g.OutDegree(1), g.InDegree(1))
+	}
+	if g.Degree(1) != 3 {
+		t.Fatalf("total degree = %d", g.Degree(1))
+	}
+	// Sum of out-degrees equals edge count.
+	sum := 0
+	for _, n := range g.Nodes() {
+		sum += g.OutDegree(n)
+	}
+	if sum != g.EdgeCount() {
+		t.Fatalf("degree sum %d != edges %d", sum, g.EdgeCount())
+	}
+}
+
+func TestRemoveNodeMissingIsNoop(t *testing.T) {
+	g := New("t")
+	g.SetEdge(Edge{From: 1, To: 2})
+	g.RemoveNode(99)
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Fatal("no-op removal changed graph")
+	}
+}
+
+func TestSubtractEdgesPreservesVertices(t *testing.T) {
+	g := New("t")
+	g.SetEdge(Edge{From: 1, To: 2})
+	g.SetEdge(Edge{From: 2, To: 3})
+	r := SubtractEdges(g, [][2]NodeID{{1, 2}, {9, 9}})
+	if r.NodeCount() != 3 || r.EdgeCount() != 1 {
+		t.Fatalf("remaining: V=%d E=%d", r.NodeCount(), r.EdgeCount())
+	}
+	if g.EdgeCount() != 2 {
+		t.Fatal("original mutated")
+	}
+}

@@ -1,0 +1,466 @@
+// Package iso implements VF2 subgraph isomorphism search for directed
+// graphs, following Cordella, Foggia, Sansone and Vento (IEEE TPAMI 2004),
+// the algorithm the paper uses for its matching step (references [12][13]).
+//
+// The decomposition algorithm needs subgraph *monomorphisms*: an injective
+// vertex mapping from a pattern (a library representation graph) into a
+// target (the remaining application graph) such that every pattern edge is
+// present between the mapped vertices. Extra target edges are allowed and
+// remain available for later matchings — this matches the paper's
+// Definition 3/4, where the matched subgraph S need not be induced.
+//
+// The search enumerates matchings in a deterministic order, supports a
+// result cap and a deadline (the paper notes run time explodes when no
+// isomorphism exists and suggests a time-out, Section 5.1), and prunes with
+// VF2's one-look-ahead feasibility rules plus a degree pre-filter.
+package iso
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Mapping is an injective assignment of pattern vertices to target
+// vertices.
+type Mapping map[graph.NodeID]graph.NodeID
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	c := make(Mapping, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+// Pairs returns the mapping as (patternVertex, targetVertex) pairs sorted
+// by pattern vertex, the order the paper's sample outputs use.
+func (m Mapping) Pairs() [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, len(m))
+	for k, v := range m {
+		out = append(out, [2]graph.NodeID{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Options controls the search.
+type Options struct {
+	// Limit stops the enumeration after this many matchings have been
+	// reported. Zero means unlimited.
+	Limit int
+	// Deadline aborts the search when exceeded. Zero means no deadline.
+	Deadline time.Time
+	// Induced requires the matched subgraph to be induced: target edges
+	// between mapped vertices must also exist in the pattern. The
+	// decomposition flow leaves this false (monomorphism).
+	Induced bool
+}
+
+// ErrDeadline is returned by FindAll when the search was cut short by the
+// deadline. Matchings found before the cut-off are still returned.
+var ErrDeadline = errors.New("iso: search deadline exceeded")
+
+// Exists reports whether at least one subgraph monomorphism from pattern
+// into target exists.
+func Exists(pattern, target *graph.Graph) bool {
+	ms, _ := FindAll(pattern, target, Options{Limit: 1})
+	return len(ms) > 0
+}
+
+// FindFirst returns the first matching in the deterministic search order,
+// or ok=false if none exists.
+func FindFirst(pattern, target *graph.Graph) (Mapping, bool) {
+	ms, _ := FindAll(pattern, target, Options{Limit: 1})
+	if len(ms) == 0 {
+		return nil, false
+	}
+	return ms[0], true
+}
+
+// FindAll enumerates subgraph monomorphisms from pattern into target, up to
+// opts.Limit. The error is ErrDeadline if the deadline cut the enumeration
+// short, nil otherwise.
+func FindAll(pattern, target *graph.Graph, opts Options) ([]Mapping, error) {
+	s := newState(pattern, target, opts)
+	if !s.plausible() {
+		return nil, nil
+	}
+	err := s.search(0)
+	return s.results, err
+}
+
+// state carries the VF2 search state in dense index space. Pattern and
+// target vertices are renumbered 0..n-1; core arrays hold the partial
+// mapping; terminal-set membership depths (tin/tout) implement the VF2
+// look-ahead sets.
+type state struct {
+	opts Options
+
+	pn, tn int // vertex counts
+
+	pID, tID []graph.NodeID       // dense index -> original id
+	pIdx     map[graph.NodeID]int // original id -> dense index
+	tIdx     map[graph.NodeID]int
+
+	pOut, pIn [][]int // pattern adjacency (dense)
+	tOut, tIn [][]int // target adjacency (dense)
+
+	tOutSet, tInSet []map[int]struct{} // target adjacency as sets
+
+	core1 []int // pattern -> target (-1 unmapped)
+	core2 []int // target -> pattern (-1 unmapped)
+
+	// Terminal depths: nonzero means the vertex entered the respective
+	// terminal set at that search depth.
+	out1, in1 []int
+	out2, in2 []int
+
+	order []int // pattern vertex visit order (connectivity-first)
+
+	results   []Mapping
+	checkTick int
+	deadline  bool
+}
+
+func newState(p, t *graph.Graph, opts Options) *state {
+	s := &state{opts: opts}
+	s.pn, s.tn = p.NodeCount(), t.NodeCount()
+	s.pID, s.pIdx, s.pOut, s.pIn = denseAdj(p)
+	s.tID, s.tIdx, s.tOut, s.tIn = denseAdj(t)
+
+	s.tOutSet = make([]map[int]struct{}, s.tn)
+	s.tInSet = make([]map[int]struct{}, s.tn)
+	for i := 0; i < s.tn; i++ {
+		s.tOutSet[i] = make(map[int]struct{}, len(s.tOut[i]))
+		for _, j := range s.tOut[i] {
+			s.tOutSet[i][j] = struct{}{}
+		}
+		s.tInSet[i] = make(map[int]struct{}, len(s.tIn[i]))
+		for _, j := range s.tIn[i] {
+			s.tInSet[i][j] = struct{}{}
+		}
+	}
+
+	s.core1 = fill(s.pn, -1)
+	s.core2 = fill(s.tn, -1)
+	s.out1 = make([]int, s.pn)
+	s.in1 = make([]int, s.pn)
+	s.out2 = make([]int, s.tn)
+	s.in2 = make([]int, s.tn)
+	s.order = connectivityOrder(s.pn, s.pOut, s.pIn)
+	return s
+}
+
+// plausible applies cheap global pre-filters before the search starts.
+func (s *state) plausible() bool {
+	if s.pn == 0 {
+		return false
+	}
+	if s.pn > s.tn {
+		return false
+	}
+	pe, te := 0, 0
+	for i := range s.pOut {
+		pe += len(s.pOut[i])
+	}
+	for i := range s.tOut {
+		te += len(s.tOut[i])
+	}
+	return pe <= te
+}
+
+// search tries to extend the partial mapping at the given depth (number of
+// mapped pattern vertices). Returns ErrDeadline on deadline abort.
+func (s *state) search(depth int) error {
+	if s.deadline {
+		return ErrDeadline
+	}
+	if !s.opts.Deadline.IsZero() {
+		s.checkTick++
+		if s.checkTick&0x3ff == 0 && time.Now().After(s.opts.Deadline) {
+			s.deadline = true
+			return ErrDeadline
+		}
+	}
+	if depth == s.pn {
+		m := make(Mapping, s.pn)
+		for pi, ti := range s.core1 {
+			m[s.pID[pi]] = s.tID[ti]
+		}
+		s.results = append(s.results, m)
+		return nil
+	}
+
+	pi := s.order[depth]
+	for _, ti := range s.candidates(pi, depth) {
+		if !s.feasible(pi, ti, depth) {
+			continue
+		}
+		s.addPair(pi, ti, depth+1)
+		if err := s.search(depth + 1); err != nil {
+			s.removePair(pi, ti, depth+1)
+			return err
+		}
+		s.removePair(pi, ti, depth+1)
+		if s.opts.Limit > 0 && len(s.results) >= s.opts.Limit {
+			return nil
+		}
+	}
+	return nil
+}
+
+// candidates returns the target vertices to try for pattern vertex pi, in
+// ascending original-id order for determinism. If pi has a mapped neighbor
+// the candidates are restricted to the corresponding target neighborhood.
+func (s *state) candidates(pi, depth int) []int {
+	// Prefer anchoring through an already-mapped pattern predecessor or
+	// successor: candidates are then the target neighbors of its image.
+	for _, pp := range s.pIn[pi] {
+		if tt := s.core1[pp]; tt >= 0 {
+			return filterUnmapped(s.tOut[tt], s.core2)
+		}
+	}
+	for _, pp := range s.pOut[pi] {
+		if tt := s.core1[pp]; tt >= 0 {
+			return filterUnmapped(s.tIn[tt], s.core2)
+		}
+	}
+	// No mapped neighbor (first vertex of a component): all unmapped
+	// target vertices.
+	out := make([]int, 0, s.tn)
+	for ti := 0; ti < s.tn; ti++ {
+		if s.core2[ti] < 0 {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// feasible applies the VF2 syntactic feasibility rules for the candidate
+// pair (pi, ti).
+func (s *state) feasible(pi, ti, depth int) bool {
+	// Degree filter: target vertex must offer at least the pattern degrees.
+	if len(s.tOut[ti]) < len(s.pOut[pi]) || len(s.tIn[ti]) < len(s.pIn[pi]) {
+		return false
+	}
+
+	// R_pred / R_succ: mapped pattern neighbors must correspond to target
+	// edges (monomorphism direction).
+	for _, pp := range s.pIn[pi] {
+		if tt := s.core1[pp]; tt >= 0 {
+			if _, ok := s.tInSet[ti][tt]; !ok {
+				return false
+			}
+		}
+	}
+	for _, pp := range s.pOut[pi] {
+		if tt := s.core1[pp]; tt >= 0 {
+			if _, ok := s.tOutSet[ti][tt]; !ok {
+				return false
+			}
+		}
+	}
+	if s.opts.Induced {
+		// Reverse direction: mapped target neighbors of ti must be edges in
+		// the pattern too.
+		for tt := range s.tInSet[ti] {
+			if pp := s.core2[tt]; pp >= 0 {
+				if !contains(s.pIn[pi], pp) {
+					return false
+				}
+			}
+		}
+		for tt := range s.tOutSet[ti] {
+			if pp := s.core2[tt]; pp >= 0 {
+				if !contains(s.pOut[pi], pp) {
+					return false
+				}
+			}
+		}
+	}
+
+	// One-look-ahead: count pattern neighbors in terminal sets and in
+	// neither set; the target must offer at least as many. For
+	// monomorphism only the >= direction applies.
+	var pTermOut, pTermIn, pNew int
+	for _, pp := range s.pOut[pi] {
+		switch {
+		case s.core1[pp] >= 0:
+		case s.out1[pp] > 0 || s.in1[pp] > 0:
+			pTermOut++
+		default:
+			pNew++
+		}
+	}
+	for _, pp := range s.pIn[pi] {
+		switch {
+		case s.core1[pp] >= 0:
+		case s.out1[pp] > 0 || s.in1[pp] > 0:
+			pTermIn++
+		default:
+			pNew++
+		}
+	}
+	var tTermOut, tTermIn, tNew int
+	for tt := range s.tOutSet[ti] {
+		switch {
+		case s.core2[tt] >= 0:
+		case s.out2[tt] > 0 || s.in2[tt] > 0:
+			tTermOut++
+		default:
+			tNew++
+		}
+	}
+	for tt := range s.tInSet[ti] {
+		switch {
+		case s.core2[tt] >= 0:
+		case s.out2[tt] > 0 || s.in2[tt] > 0:
+			tTermIn++
+		default:
+			tNew++
+		}
+	}
+	return tTermOut >= pTermOut && tTermIn >= pTermIn && tTermOut+tTermIn+tNew >= pTermOut+pTermIn+pNew
+}
+
+func (s *state) addPair(pi, ti, depth int) {
+	s.core1[pi] = ti
+	s.core2[ti] = pi
+	for _, pp := range s.pOut[pi] {
+		if s.out1[pp] == 0 {
+			s.out1[pp] = depth
+		}
+	}
+	for _, pp := range s.pIn[pi] {
+		if s.in1[pp] == 0 {
+			s.in1[pp] = depth
+		}
+	}
+	for _, tt := range s.tOut[ti] {
+		if s.out2[tt] == 0 {
+			s.out2[tt] = depth
+		}
+	}
+	for _, tt := range s.tIn[ti] {
+		if s.in2[tt] == 0 {
+			s.in2[tt] = depth
+		}
+	}
+}
+
+func (s *state) removePair(pi, ti, depth int) {
+	for _, pp := range s.pOut[pi] {
+		if s.out1[pp] == depth {
+			s.out1[pp] = 0
+		}
+	}
+	for _, pp := range s.pIn[pi] {
+		if s.in1[pp] == depth {
+			s.in1[pp] = 0
+		}
+	}
+	for _, tt := range s.tOut[ti] {
+		if s.out2[tt] == depth {
+			s.out2[tt] = 0
+		}
+	}
+	for _, tt := range s.tIn[ti] {
+		if s.in2[tt] == depth {
+			s.in2[tt] = 0
+		}
+	}
+	s.core1[pi] = -1
+	s.core2[ti] = -1
+}
+
+// connectivityOrder visits pattern vertices so that each vertex after the
+// first within a component has at least one previously-visited neighbor,
+// maximizing anchoring. Components are entered at their highest-degree
+// vertex; ties break toward lower dense index.
+func connectivityOrder(n int, out, in [][]int) []int {
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		deg[i] = len(out[i]) + len(in[i])
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	adj := func(i int) []int {
+		ns := append(append([]int{}, out[i]...), in[i]...)
+		sort.Ints(ns)
+		return ns
+	}
+	for len(order) < n {
+		// Pick the unvisited vertex with a visited neighbor, preferring
+		// high degree; otherwise the highest-degree unvisited vertex.
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if visited[i] {
+				continue
+			}
+			anchored := 0
+			for _, j := range adj(i) {
+				if visited[j] {
+					anchored = 1
+					break
+				}
+			}
+			score := anchored*1000 + deg[i]
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		visited[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+func denseAdj(g *graph.Graph) ([]graph.NodeID, map[graph.NodeID]int, [][]int, [][]int) {
+	ids := g.Nodes()
+	idx := make(map[graph.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
+	out := make([][]int, len(ids))
+	in := make([][]int, len(ids))
+	for i, id := range ids {
+		for _, m := range g.OutNeighbors(id) {
+			out[i] = append(out[i], idx[m])
+		}
+		for _, m := range g.InNeighbors(id) {
+			in[i] = append(in[i], idx[m])
+		}
+	}
+	return ids, idx, out, in
+}
+
+func filterUnmapped(cands []int, core2 []int) []int {
+	out := make([]int, 0, len(cands))
+	for _, c := range cands {
+		if core2[c] < 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

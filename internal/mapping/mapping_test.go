@@ -1,0 +1,217 @@
+package mapping
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+)
+
+func lineTasks(vols ...float64) *graph.Graph {
+	g := graph.New("line")
+	for i, v := range vols {
+		g.AddEdge(graph.Edge{
+			From: graph.NodeID(i + 1), To: graph.NodeID(i + 2),
+			Volume: v, Bandwidth: v / 8,
+		})
+	}
+	return g
+}
+
+func TestSolveValidation(t *testing.T) {
+	p := floorplan.Grid(4, 1, 1, 0)
+	tasks := lineTasks(10, 10)
+	if _, err := Solve(Problem{Tasks: nil, Cores: graph.Range(1, 4), Placement: p}); err == nil {
+		t.Fatal("nil tasks accepted")
+	}
+	if _, err := Solve(Problem{Tasks: tasks, Cores: graph.Range(1, 2), Placement: p}); err == nil {
+		t.Fatal("too few cores accepted")
+	}
+	if _, err := Solve(Problem{Tasks: tasks, Cores: graph.Range(1, 4), Placement: nil}); err == nil {
+		t.Fatal("nil placement accepted")
+	}
+	if _, err := Solve(Problem{
+		Tasks: tasks, Cores: []graph.NodeID{1, 1, 2, 3}, Placement: p,
+	}); err == nil {
+		t.Fatal("duplicate cores accepted")
+	}
+}
+
+func TestExactMapsHotPairAdjacent(t *testing.T) {
+	// Three tasks in a chain; the hot edge (1-2, volume 1000) must land
+	// on adjacent cores, the cold edge may stretch.
+	tasks := lineTasks(1000, 1)
+	p := floorplan.Grid(4, 1, 1, 0) // 2x2 grid, adjacent distance 1
+	res, err := Solve(Problem{
+		Tasks: tasks, Cores: graph.Range(1, 4), Placement: p, Energy: energy.Tech180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Fatal("small instance should solve exactly")
+	}
+	d := p.EuclideanDistance(res.Assignment[1], res.Assignment[2])
+	if d > 1.0+1e-9 {
+		t.Fatalf("hot pair placed %.2f apart: %v", d, res.Assignment)
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tasks := graph.New("t")
+	for i := 1; i <= 5; i++ {
+		for j := 1; j <= 5; j++ {
+			if i != j && rng.Float64() < 0.4 {
+				tasks.SetEdge(graph.Edge{
+					From: graph.NodeID(i), To: graph.NodeID(j),
+					Volume: float64(1 + rng.Intn(50)),
+				})
+			}
+		}
+	}
+	p := floorplan.Grid(6, 1, 1, 0.3)
+	cores := graph.Range(1, 6)
+	res, err := Solve(Problem{Tasks: tasks, Cores: cores, Placement: p, Energy: energy.Tech130})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceBest(tasks, cores, p, energy.Tech130)
+	if math.Abs(res.Cost-want) > 1e-6 {
+		t.Fatalf("exact solver cost %.4f, brute force %.4f", res.Cost, want)
+	}
+}
+
+func bruteForceBest(tasks *graph.Graph, cores []graph.NodeID, p *floorplan.Placement, em energy.Model) float64 {
+	ids := tasks.Nodes()
+	best := math.Inf(1)
+	assign := make(Assignment, len(ids))
+	used := make(map[graph.NodeID]bool)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(ids) {
+			if c := Cost(tasks, assign, p, em); c < best {
+				best = c
+			}
+			return
+		}
+		for _, c := range cores {
+			if used[c] {
+				continue
+			}
+			used[c] = true
+			assign[ids[i]] = c
+			rec(i + 1)
+			delete(assign, ids[i])
+			used[c] = false
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestAnnealLargeInstance(t *testing.T) {
+	// 16 tasks in a ring of heavy traffic onto a 4x4 grid: annealed cost
+	// must beat a pathological fixed assignment (reversed centrality).
+	tasks := graph.New("ring")
+	for i := 1; i <= 16; i++ {
+		j := i%16 + 1
+		tasks.SetEdge(graph.Edge{From: graph.NodeID(i), To: graph.NodeID(j), Volume: 100})
+	}
+	p := floorplan.Grid(16, 1, 1, 0)
+	cores := graph.Range(1, 16)
+	res, err := Solve(Problem{Tasks: tasks, Cores: cores, Placement: p, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("16 tasks should anneal, not solve exactly")
+	}
+	// Identity assignment: ring laid out row-major wraps badly (cost of
+	// edge 4-5 spans the row break etc.). The annealer must do at least
+	// as well as identity.
+	identity := make(Assignment)
+	for i := 1; i <= 16; i++ {
+		identity[graph.NodeID(i)] = graph.NodeID(i)
+	}
+	idCost := Cost(tasks, identity, p, energy.Tech180)
+	if res.Cost > idCost+1e-9 {
+		t.Fatalf("annealed cost %.1f worse than identity %.1f", res.Cost, idCost)
+	}
+}
+
+func TestApplyRewritesTaskGraph(t *testing.T) {
+	tasks := lineTasks(8, 4)
+	a := Assignment{1: 10, 2: 20, 3: 30}
+	acg, err := a.Apply(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acg.HasEdge(10, 20) || !acg.HasEdge(20, 30) {
+		t.Fatalf("mapped edges missing: %v", acg.Edges())
+	}
+	e, _ := acg.EdgeBetween(10, 20)
+	if e.Volume != 8 {
+		t.Fatalf("volume lost: %v", e)
+	}
+	// Unassigned task.
+	bad := Assignment{1: 10}
+	if _, err := bad.Apply(tasks); err == nil {
+		t.Fatal("partial assignment accepted")
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{1: 5}
+	c := a.Clone()
+	c[1] = 9
+	if a[1] != 5 {
+		t.Fatal("clone aliased")
+	}
+}
+
+// Property: the exact solver's assignment is a bijection and its reported
+// cost equals an independent evaluation.
+func TestPropertyExactBijectionAndCost(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		tasks := graph.New("t")
+		for i := 1; i <= n; i++ {
+			tasks.AddNode(graph.NodeID(i))
+		}
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				if i != j && rng.Float64() < 0.5 {
+					tasks.SetEdge(graph.Edge{
+						From: graph.NodeID(i), To: graph.NodeID(j),
+						Volume: float64(1 + rng.Intn(20)),
+					})
+				}
+			}
+		}
+		p := floorplan.Grid(n+1, 1, 1, 0.2)
+		res, err := Solve(Problem{
+			Tasks: tasks, Cores: graph.Range(1, graph.NodeID(n+1)),
+			Placement: p, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		used := map[graph.NodeID]bool{}
+		for _, c := range res.Assignment {
+			if used[c] {
+				return false
+			}
+			used[c] = true
+		}
+		return math.Abs(res.Cost-Cost(tasks, res.Assignment, p, energy.Tech180)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,606 @@
+// Package noc is a cycle-level network-on-chip simulator: input-buffered
+// wormhole routers with virtual channels, credit-based flow control, and
+// deterministic round-robin arbitration.
+//
+// It substitutes for the paper's Virtex-2 FPGA prototype (Section 5.2).
+// The quantities the paper measures — cycles per encrypted block, average
+// packet latency, and switching activity (which Xilinx XPower integrates
+// into power) — are architectural: a flit-accurate simulator measures the
+// same quantities for the mesh and the customized topology under identical
+// traffic, preserving the relative comparison the paper reports.
+//
+// Model summary:
+//
+//   - A packet of B bits becomes 1 head flit + ceil(B/FlitBits) payload
+//     flits (the head carries routing state, as in the prototype).
+//   - Routers have one input port per incident link plus a local injection
+//     port; each input port holds NumVCs FIFO buffers of BufferFlits flits.
+//   - Routing is table-driven (deterministic, destination-based); the
+//     virtual channel of a packet on each hop is statically derived from
+//     the routing layer's dateline assignment, which guarantees deadlock
+//     freedom.
+//   - Each output port moves at most one flit per cycle (crossbar and link
+//     serialization); wormhole: an output locks to one packet from head to
+//     tail. Credits return to the upstream router when a flit leaves an
+//     input buffer.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Config sets the microarchitectural parameters.
+type Config struct {
+	// FlitBits is the link width: bits moved per link per cycle.
+	FlitBits int
+	// BufferFlits is the per-input-VC FIFO depth.
+	BufferFlits int
+	// NumVCs is the number of virtual channels per input port. It must be
+	// at least the routing VC assignment's requirement.
+	NumVCs int
+	// LinkCycles is the link traversal latency in cycles.
+	LinkCycles int
+	// RouterCycles is the router pipeline depth: cycles a flit spends in
+	// a router before becoming eligible for switch allocation. FPGA-era
+	// wormhole routers are typically 2-4 stages; 1 models an idealized
+	// single-cycle router.
+	RouterCycles int
+	// ClockMHz converts cycles to time for throughput/power reporting.
+	ClockMHz float64
+}
+
+// DefaultConfig mirrors a small FPGA-era router: 32-bit links, 4-flit
+// buffers, a 3-stage router pipeline, 100 MHz clock.
+func DefaultConfig() Config {
+	return Config{FlitBits: 32, BufferFlits: 4, NumVCs: 1, LinkCycles: 1, RouterCycles: 3, ClockMHz: 100}
+}
+
+func (c Config) validate() error {
+	if c.FlitBits <= 0 || c.BufferFlits <= 0 || c.NumVCs <= 0 || c.LinkCycles <= 0 || c.RouterCycles <= 0 || c.ClockMHz <= 0 {
+		return fmt.Errorf("noc: nonpositive config field: %+v", c)
+	}
+	return nil
+}
+
+// Packet is one network transaction.
+type Packet struct {
+	ID   int
+	Src  graph.NodeID
+	Dst  graph.NodeID
+	Bits int
+	// Tag is free-form application context (e.g. the AES round).
+	Tag string
+	// Payload carries application data end to end; the simulator moves it
+	// untouched (the flit count depends only on Bits).
+	Payload interface{}
+
+	// InjectCycle is when the packet entered the source queue; EjectCycle
+	// when its tail flit left the network at the destination.
+	InjectCycle int64
+	EjectCycle  int64
+
+	route    []graph.NodeID
+	vcs      []int // virtual channel at each route position
+	flits    int
+	injected int // flits handed to the local input port so far
+}
+
+// Route returns the packet's resolved route (read-only view).
+func (p *Packet) Route() []graph.NodeID {
+	return append([]graph.NodeID(nil), p.route...)
+}
+
+// Latency returns the packet's in-network latency in cycles.
+func (p *Packet) Latency() int64 { return p.EjectCycle - p.InjectCycle }
+
+// flit is the unit of flow control.
+type flit struct {
+	pkt    *Packet
+	isHead bool
+	isTail bool
+	// hop is the index into pkt.route of the router the flit currently
+	// sits in (or travels toward).
+	hop int
+}
+
+// vcOf returns the statically assigned virtual channel for this flit's
+// current hop.
+func (n *Network) vcOf(f flit) int {
+	if f.hop >= len(f.pkt.vcs) {
+		return 0
+	}
+	return f.pkt.vcs[f.hop]
+}
+
+// inputPort is one router ingress with per-VC FIFOs.
+type inputPort struct {
+	queues [][]flit // [vc][fifo]
+}
+
+// outputPort is one router egress with wormhole lock and downstream
+// credits.
+type outputPort struct {
+	to graph.NodeID // neighbor (0 for local ejection)
+
+	// lockedKey identifies the (input, vc) currently holding the output,
+	// empty when free.
+	lockedKey string
+
+	// credits[vc] is the free downstream buffer space.
+	credits []int
+
+	// rrIndex is the round-robin arbitration pointer.
+	rrIndex int
+}
+
+// router is one network node.
+type router struct {
+	id graph.NodeID
+	// inputs keyed by upstream node id; the local injection port uses the
+	// router's own id as key.
+	inputs map[graph.NodeID]*inputPort
+	// outputs keyed by downstream node id; local ejection uses own id.
+	outputs map[graph.NodeID]*outputPort
+
+	inKeys  []graph.NodeID
+	outKeys []graph.NodeID
+}
+
+// arrival is a flit in flight on a link.
+type arrival struct {
+	at   int64
+	to   graph.NodeID // router receiving the flit
+	from graph.NodeID // upstream router (input port key)
+	f    flit
+}
+
+// Network is the simulator instance.
+type Network struct {
+	cfg   Config
+	arch  *topology.Architecture
+	table routing.Table
+	vc    routing.VCAssignment
+
+	routers map[graph.NodeID]*router
+	order   []graph.NodeID
+
+	cycle    int64
+	inflight []arrival
+
+	srcQueue map[graph.NodeID][]*Packet // NI queues awaiting local port space
+	pending  int                        // packets injected but not ejected
+
+	stats   Stats
+	onEject func(*Packet)
+	nextID  int
+}
+
+// New builds a simulator over the architecture and routing table. The
+// virtual channel assignment must come from the same table (it determines
+// NumVCs if cfg.NumVCs is lower).
+func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routing.VCAssignment) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if arch == nil || table == nil {
+		return nil, fmt.Errorf("noc: nil architecture or table")
+	}
+	if vc.NumVCs > cfg.NumVCs {
+		cfg.NumVCs = vc.NumVCs
+	}
+	n := &Network{
+		cfg:      cfg,
+		arch:     arch,
+		table:    table,
+		vc:       vc,
+		routers:  make(map[graph.NodeID]*router),
+		srcQueue: make(map[graph.NodeID][]*Packet),
+	}
+	n.stats = newStats()
+	for _, id := range arch.Nodes() {
+		r := &router{
+			id:      id,
+			inputs:  make(map[graph.NodeID]*inputPort),
+			outputs: make(map[graph.NodeID]*outputPort),
+		}
+		n.routers[id] = r
+		n.order = append(n.order, id)
+	}
+	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	// Wire ports from links.
+	for _, l := range arch.Links() {
+		n.connect(l.A, l.B)
+		n.connect(l.B, l.A)
+	}
+	// Local ports.
+	for _, id := range n.order {
+		r := n.routers[id]
+		r.inputs[id] = n.newInput()
+		r.outputs[id] = &outputPort{to: id, credits: bigCredits(cfg.NumVCs)}
+		r.rebuildKeys()
+	}
+	return n, nil
+}
+
+func (n *Network) connect(from, to graph.NodeID) {
+	down := n.routers[to]
+	down.inputs[from] = n.newInput()
+	up := n.routers[from]
+	cr := make([]int, n.cfg.NumVCs)
+	for i := range cr {
+		cr[i] = n.cfg.BufferFlits
+	}
+	up.outputs[to] = &outputPort{to: to, credits: cr}
+}
+
+func (n *Network) newInput() *inputPort {
+	q := make([][]flit, n.cfg.NumVCs)
+	return &inputPort{queues: q}
+}
+
+func bigCredits(vcs int) []int {
+	cr := make([]int, vcs)
+	for i := range cr {
+		cr[i] = 1 << 30 // local ejection is an infinite sink
+	}
+	return cr
+}
+
+func (r *router) rebuildKeys() {
+	r.inKeys = r.inKeys[:0]
+	for k := range r.inputs {
+		r.inKeys = append(r.inKeys, k)
+	}
+	sort.Slice(r.inKeys, func(i, j int) bool { return r.inKeys[i] < r.inKeys[j] })
+	r.outKeys = r.outKeys[:0]
+	for k := range r.outputs {
+		r.outKeys = append(r.outKeys, k)
+	}
+	sort.Slice(r.outKeys, func(i, j int) bool { return r.outKeys[i] < r.outKeys[j] })
+}
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Nodes returns the network's node ids in ascending order.
+func (n *Network) Nodes() []graph.NodeID {
+	return append([]graph.NodeID(nil), n.order...)
+}
+
+// Pending returns the number of packets injected but not yet delivered.
+func (n *Network) Pending() int { return n.pending }
+
+// OnEject registers a delivery callback, invoked when a packet's tail flit
+// leaves the network (application layers build dataflow on this).
+func (n *Network) OnEject(fn func(*Packet)) { n.onEject = fn }
+
+// Inject queues a packet for injection at the current cycle. The route is
+// resolved immediately from the routing table and the deadlock-free VC
+// assignment; an unroutable packet is an error.
+func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, error) {
+	route, err := n.table.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	vcs := make([]int, len(route))
+	for i := 0; i+1 < len(route); i++ {
+		vcs[i] = n.vc.VCForHop(route, i)
+	}
+	return n.InjectRouted(src, dst, bits, tag, route, vcs)
+}
+
+// InjectRouted queues a packet with an explicit source route and per-hop
+// virtual channel assignment (vcs[i] is the VC occupied at route[i]; the
+// final entry covers ejection and is conventionally 0). This is the hook
+// oblivious/stochastic/adaptive routing strategies use: they choose the
+// route per packet, outside the deterministic table. The caller is
+// responsible for choosing routes and VC classes whose union is
+// deadlock-free.
+func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, route []graph.NodeID, vcs []int) (*Packet, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("noc: packet bits %d", bits)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("noc: self-addressed packet at node %d", src)
+	}
+	if len(route) < 2 || route[0] != src || route[len(route)-1] != dst {
+		return nil, fmt.Errorf("noc: route %v does not connect %d to %d", route, src, dst)
+	}
+	if len(vcs) != len(route) {
+		return nil, fmt.Errorf("noc: vcs length %d != route length %d", len(vcs), len(route))
+	}
+	for i := 0; i+1 < len(route); i++ {
+		if !n.arch.HasLink(route[i], route[i+1]) {
+			return nil, fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i], route[i+1])
+		}
+		if vcs[i] < 0 || vcs[i] >= n.cfg.NumVCs {
+			return nil, fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs)
+		}
+	}
+	n.nextID++
+	p := &Packet{
+		ID: n.nextID, Src: src, Dst: dst, Bits: bits, Tag: tag,
+		InjectCycle: n.cycle,
+		route:       append([]graph.NodeID(nil), route...),
+		vcs:         append([]int(nil), vcs...),
+		flits:       1 + (bits+n.cfg.FlitBits-1)/n.cfg.FlitBits,
+	}
+	n.srcQueue[src] = append(n.srcQueue[src], p)
+	n.pending++
+	n.stats.Injected++
+	return p, nil
+}
+
+// InputOccupancy returns the number of flits currently buffered in the
+// router's input ports — the congestion signal adaptive strategies use.
+func (n *Network) InputOccupancy(node graph.NodeID) int {
+	r, ok := n.routers[node]
+	if !ok {
+		return 0
+	}
+	total := 0
+	for _, in := range r.inputs {
+		for _, q := range in.queues {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.cycle++
+	n.deliverArrivals()
+	n.injectFromNIs()
+	n.switchAllocation()
+}
+
+// RunUntilDrained steps until no packets are pending or maxCycles elapse,
+// returning whether the network drained.
+func (n *Network) RunUntilDrained(maxCycles int64) bool {
+	limit := n.cycle + maxCycles
+	for n.pending > 0 && n.cycle < limit {
+		n.Step()
+	}
+	return n.pending == 0
+}
+
+// deliverArrivals moves flits that finished their link traversal into the
+// downstream input buffers (space was reserved by credits at send time).
+func (n *Network) deliverArrivals() {
+	rest := n.inflight[:0]
+	for _, a := range n.inflight {
+		if a.at > n.cycle {
+			rest = append(rest, a)
+			continue
+		}
+		r := n.routers[a.to]
+		in := r.inputs[a.from]
+		vc := n.vcOf(a.f)
+		in.queues[vc] = append(in.queues[vc], a.f)
+	}
+	n.inflight = rest
+}
+
+// injectFromNIs moves waiting packets' flits into local input ports while
+// buffer space remains. Flits are created lazily: a packet at the head of
+// the NI queue feeds one flit per cycle into the local port (the NI also
+// serializes at link width).
+func (n *Network) injectFromNIs() {
+	for _, id := range n.order {
+		q := n.srcQueue[id]
+		if len(q) == 0 {
+			continue
+		}
+		p := q[0]
+		in := n.routers[id].inputs[id]
+		vc := p.vcs[0]
+		if len(in.queues[vc]) >= n.cfg.BufferFlits {
+			continue
+		}
+		f := flit{pkt: p, isHead: p.injected == 0, isTail: p.injected == p.flits-1, hop: 0}
+		in.queues[vc] = append(in.queues[vc], f)
+		p.injected++
+		if f.isTail {
+			n.srcQueue[id] = q[1:]
+		}
+	}
+}
+
+// switchAllocation arbitrates every output port and moves winning flits.
+func (n *Network) switchAllocation() {
+	for _, id := range n.order {
+		r := n.routers[id]
+		for _, outKey := range r.outKeys {
+			out := r.outputs[outKey]
+			n.arbitrate(r, out)
+		}
+	}
+}
+
+// arbKey identifies an (input port, vc) pair.
+func arbKey(in graph.NodeID, vc int) string {
+	return fmt.Sprintf("%d.%d", in, vc)
+}
+
+// arbitrate picks one input VC for the output port and moves its head-of-
+// line flit.
+func (n *Network) arbitrate(r *router, out *outputPort) {
+	type cand struct {
+		inKey graph.NodeID
+		vc    int
+	}
+	var cands []cand
+	for _, inKey := range r.inKeys {
+		in := r.inputs[inKey]
+		for vc := 0; vc < n.cfg.NumVCs; vc++ {
+			q := in.queues[vc]
+			if len(q) == 0 {
+				continue
+			}
+			f := q[0]
+			if n.outputFor(r, f) != out.to {
+				continue
+			}
+			// Wormhole lock: only the locked packet's input may use the
+			// output until the tail passes.
+			key := arbKey(inKey, vc)
+			if out.lockedKey != "" && out.lockedKey != key {
+				continue
+			}
+			// Credit check for the downstream buffer (the VC of the NEXT
+			// hop governs which buffer the flit lands in).
+			if out.to != r.id { // not local ejection
+				dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
+				if out.credits[dvc] <= 0 {
+					continue
+				}
+			}
+			cands = append(cands, cand{inKey: inKey, vc: vc})
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	// Round-robin among candidates.
+	sel := cands[out.rrIndex%len(cands)]
+	out.rrIndex++
+	in := r.inputs[sel.inKey]
+	f := in.queues[sel.vc][0]
+	in.queues[sel.vc] = in.queues[sel.vc][1:]
+
+	// Wormhole lock management.
+	key := arbKey(sel.inKey, sel.vc)
+	if f.isHead {
+		out.lockedKey = key
+	}
+	if f.isTail {
+		out.lockedKey = ""
+	}
+
+	// Credit return to upstream (a buffer slot freed at this router).
+	if sel.inKey != r.id {
+		up := n.routers[sel.inKey]
+		upOut := up.outputs[r.id]
+		upOut.credits[sel.vc]++
+	}
+
+	n.stats.SwitchTraversals[r.id]++
+
+	if out.to == r.id {
+		// Local ejection.
+		if f.isTail {
+			p := f.pkt
+			p.EjectCycle = n.cycle
+			n.pending--
+			n.stats.recordDelivery(p)
+			if n.onEject != nil {
+				n.onEject(p)
+			}
+		}
+		return
+	}
+
+	// Send over the link; the flit becomes switch-allocation eligible at
+	// the downstream router only after the link traversal plus the
+	// remaining router pipeline stages (stage 1 is the allocation cycle
+	// itself).
+	dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
+	out.credits[dvc]--
+	n.stats.addLinkTraversal(r.id, out.to)
+	n.inflight = append(n.inflight, arrival{
+		at:   n.cycle + int64(n.cfg.LinkCycles) + int64(n.cfg.RouterCycles-1),
+		to:   out.to,
+		from: r.id,
+		f:    flit{pkt: f.pkt, isHead: f.isHead, isTail: f.isTail, hop: f.hop + 1},
+	})
+}
+
+// outputFor resolves which output port a flit wants at router r: the next
+// hop along its precomputed route, or the local port when r is the
+// destination.
+func (n *Network) outputFor(r *router, f flit) graph.NodeID {
+	route := f.pkt.route
+	if f.hop >= len(route)-1 {
+		return r.id // destination: eject
+	}
+	return route[f.hop+1]
+}
+
+// PortCount returns the total number of router ports in the network: two
+// per physical link (one ingress on each side) plus one local port per
+// router. Static power scales with this.
+func (n *Network) PortCount() int {
+	return 2*n.arch.LinkCount() + len(n.routers)
+}
+
+// DynamicEnergyPJ evaluates the paper's Equation 1 over the simulator's
+// activity trace: every switch traversal charges ESbit per bit of flit,
+// every link traversal charges ELbit(length) per bit.
+func (n *Network) DynamicEnergyPJ(m energy.Model) float64 {
+	bitsPerFlit := float64(n.cfg.FlitBits)
+	var pj float64
+	for _, cnt := range n.stats.SwitchTraversals {
+		pj += float64(cnt) * bitsPerFlit * m.SwitchBit
+	}
+	for key, cnt := range n.stats.LinkTraversals {
+		length := 1.0
+		if l, ok := n.arch.LinkBetween(key[0], key[1]); ok {
+			length = l.LengthMM
+		}
+		pj += float64(cnt) * bitsPerFlit * m.LinkBit(length)
+	}
+	return pj
+}
+
+// StaticEnergyPJ charges the model's per-port background power over the
+// elapsed simulated time — the component an implementation-level power
+// measurement (the paper's XPower run) integrates in addition to switching
+// activity.
+func (n *Network) StaticEnergyPJ(m energy.Model) float64 {
+	seconds := float64(n.cycle) / (n.cfg.ClockMHz * 1e6)
+	// mW * s = 1e-3 J = 1e9 pJ.
+	return m.StaticPortMW * float64(n.PortCount()) * seconds * 1e9
+}
+
+// EnergyPJ is the total (dynamic + static) energy of the run so far.
+func (n *Network) EnergyPJ(m energy.Model) float64 {
+	return n.DynamicEnergyPJ(m) + n.StaticEnergyPJ(m)
+}
+
+// AveragePowerMW returns the mean power over the elapsed simulation time
+// under the given energy model.
+func (n *Network) AveragePowerMW(m energy.Model) float64 {
+	if n.cycle == 0 {
+		return 0
+	}
+	pj := n.EnergyPJ(m)
+	seconds := float64(n.cycle) / (n.cfg.ClockMHz * 1e6)
+	// pJ / s = 1e-12 W; report mW.
+	return pj * 1e-12 / seconds * 1e3
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
+
+// ResetStats clears the measurement counters without disturbing in-flight
+// traffic — the standard warm-up/measurement-window methodology: drive
+// the network to steady state, ResetStats, then measure. The cycle
+// counter keeps running; use the returned cycle as the window start.
+func (n *Network) ResetStats() int64 {
+	inFlight := n.pending
+	n.stats = newStats()
+	// Packets already in the network will still deliver; count them as
+	// injected in the new window so conservation checks remain valid.
+	n.stats.Injected = int64(inFlight)
+	return n.cycle
+}
+
+// Config returns the effective configuration (including any VC widening).
+func (n *Network) Config() Config { return n.cfg }

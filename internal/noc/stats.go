@@ -1,0 +1,191 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Stats accumulates simulator measurements.
+type Stats struct {
+	// Injected and Delivered count packets.
+	Injected  int64
+	Delivered int64
+
+	// DeliveredBits counts payload bits of delivered packets.
+	DeliveredBits int64
+
+	// Latency aggregates per-packet in-network latencies (cycles).
+	LatencySum int64
+	LatencyMax int64
+	LatencyMin int64
+
+	// SwitchTraversals counts flits through each router's crossbar.
+	SwitchTraversals map[graph.NodeID]int64
+	// LinkTraversals counts flits over each directed link (from, to).
+	LinkTraversals map[[2]graph.NodeID]int64
+
+	// ByTag aggregates per-tag delivery counts and latencies, letting
+	// applications break results down by message class (the AES driver
+	// tags packets with their round and kind).
+	ByTag map[string]TagStats
+}
+
+// TagStats aggregates deliveries sharing one tag.
+type TagStats struct {
+	Delivered  int64
+	LatencySum int64
+}
+
+// AvgLatency returns the tag's mean latency in cycles.
+func (t TagStats) AvgLatency() float64 {
+	if t.Delivered == 0 {
+		return 0
+	}
+	return float64(t.LatencySum) / float64(t.Delivered)
+}
+
+func newStats() Stats {
+	return Stats{
+		LatencyMin:       1<<63 - 1,
+		SwitchTraversals: make(map[graph.NodeID]int64),
+		LinkTraversals:   make(map[[2]graph.NodeID]int64),
+		ByTag:            make(map[string]TagStats),
+	}
+}
+
+func (s *Stats) recordDelivery(p *Packet) {
+	s.Delivered++
+	s.DeliveredBits += int64(p.Bits)
+	l := p.Latency()
+	s.LatencySum += l
+	if l > s.LatencyMax {
+		s.LatencyMax = l
+	}
+	if l < s.LatencyMin {
+		s.LatencyMin = l
+	}
+	if p.Tag != "" {
+		ts := s.ByTag[p.Tag]
+		ts.Delivered++
+		ts.LatencySum += l
+		s.ByTag[p.Tag] = ts
+	}
+}
+
+func (s *Stats) addLinkTraversal(from, to graph.NodeID) {
+	s.LinkTraversals[[2]graph.NodeID{from, to}]++
+}
+
+// AvgLatency returns the mean packet latency in cycles (0 if nothing was
+// delivered).
+func (s Stats) AvgLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.LatencySum) / float64(s.Delivered)
+}
+
+// ThroughputMbps converts delivered bits over elapsed cycles into Mbps at
+// the given clock.
+func (s Stats) ThroughputMbps(cycles int64, clockMHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	bitsPerCycle := float64(s.DeliveredBits) / float64(cycles)
+	return bitsPerCycle * clockMHz // bits/cycle * Mcycles/s = Mbit/s
+}
+
+// TotalSwitchTraversals sums flit crossbar traversals over all routers.
+func (s Stats) TotalSwitchTraversals() int64 {
+	var t int64
+	for _, v := range s.SwitchTraversals {
+		t += v
+	}
+	return t
+}
+
+// TotalLinkTraversals sums flit link traversals over all directed links.
+func (s Stats) TotalLinkTraversals() int64 {
+	var t int64
+	for _, v := range s.LinkTraversals {
+		t += v
+	}
+	return t
+}
+
+// LinkUtilization returns, for every directed link, the fraction of the
+// elapsed cycles in which it carried a flit — the post-simulation check
+// that no physical channel exceeded its capacity (a link moving one flit
+// per cycle saturates at 1.0).
+func (s Stats) LinkUtilization(cycles int64) map[[2]graph.NodeID]float64 {
+	out := make(map[[2]graph.NodeID]float64, len(s.LinkTraversals))
+	if cycles <= 0 {
+		return out
+	}
+	for k, v := range s.LinkTraversals {
+		out[k] = float64(v) / float64(cycles)
+	}
+	return out
+}
+
+// MaxLinkUtilization returns the hottest directed link and its
+// utilization.
+func (s Stats) MaxLinkUtilization(cycles int64) ([2]graph.NodeID, float64) {
+	var bestKey [2]graph.NodeID
+	best := 0.0
+	for k, u := range s.LinkUtilization(cycles) {
+		if u > best || (u == best && (k[0] < bestKey[0] || (k[0] == bestKey[0] && k[1] < bestKey[1]))) {
+			best = u
+			bestKey = k
+		}
+	}
+	return bestKey, best
+}
+
+// snapshot deep-copies the maps so callers cannot alias live state.
+func (s Stats) snapshot() Stats {
+	out := s
+	out.SwitchTraversals = make(map[graph.NodeID]int64, len(s.SwitchTraversals))
+	for k, v := range s.SwitchTraversals {
+		out.SwitchTraversals[k] = v
+	}
+	out.LinkTraversals = make(map[[2]graph.NodeID]int64, len(s.LinkTraversals))
+	for k, v := range s.LinkTraversals {
+		out.LinkTraversals[k] = v
+	}
+	out.ByTag = make(map[string]TagStats, len(s.ByTag))
+	for k, v := range s.ByTag {
+		out.ByTag[k] = v
+	}
+	return out
+}
+
+// Describe renders the statistics deterministically.
+func (s Stats) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "packets: %d injected, %d delivered (%d bits)\n",
+		s.Injected, s.Delivered, s.DeliveredBits)
+	if s.Delivered > 0 {
+		fmt.Fprintf(&b, "latency: avg %.2f, min %d, max %d cycles\n",
+			s.AvgLatency(), s.LatencyMin, s.LatencyMax)
+	}
+	fmt.Fprintf(&b, "activity: %d switch traversals, %d link traversals\n",
+		s.TotalSwitchTraversals(), s.TotalLinkTraversals())
+	keys := make([][2]graph.NodeID, 0, len(s.LinkTraversals))
+	for k := range s.LinkTraversals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  link %d->%d: %d flits\n", k[0], k[1], s.LinkTraversals[k])
+	}
+	return b.String()
+}

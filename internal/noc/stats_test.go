@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStatsByTag(t *testing.T) {
+	n := meshNet(t, 2, 2, DefaultConfig())
+	n.Inject(1, 4, 64, "classA")
+	n.Inject(2, 3, 64, "classA")
+	n.Inject(1, 2, 64, "classB")
+	n.Inject(3, 4, 64, "") // untagged: not aggregated
+	if !n.RunUntilDrained(100000) {
+		t.Fatal("did not drain")
+	}
+	st := n.Stats()
+	a := st.ByTag["classA"]
+	if a.Delivered != 2 {
+		t.Fatalf("classA delivered = %d", a.Delivered)
+	}
+	if a.AvgLatency() <= 0 {
+		t.Fatalf("classA latency = %g", a.AvgLatency())
+	}
+	b := st.ByTag["classB"]
+	if b.Delivered != 1 {
+		t.Fatalf("classB delivered = %d", b.Delivered)
+	}
+	if _, ok := st.ByTag[""]; ok {
+		t.Fatal("untagged packets should not be aggregated")
+	}
+	// Snapshot isolation: mutating the snapshot must not leak back.
+	st.ByTag["classA"] = TagStats{}
+	if n.Stats().ByTag["classA"].Delivered != 2 {
+		t.Fatal("snapshot aliased live stats")
+	}
+}
+
+func TestResetStatsWindow(t *testing.T) {
+	n := meshNet(t, 3, 3, DefaultConfig())
+	// Warm-up phase.
+	for i := 0; i < 5; i++ {
+		if _, err := n.Inject(1, 9, 64, "warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !n.RunUntilDrained(100000) {
+		t.Fatal("warmup did not drain")
+	}
+	start := n.ResetStats()
+	if start != n.Cycle() {
+		t.Fatal("window start mismatch")
+	}
+	st := n.Stats()
+	if st.Delivered != 0 || st.TotalSwitchTraversals() != 0 {
+		t.Fatalf("counters not cleared: %+v", st)
+	}
+	// Measurement phase.
+	if _, err := n.Inject(2, 8, 64, "measure"); err != nil {
+		t.Fatal(err)
+	}
+	if !n.RunUntilDrained(100000) {
+		t.Fatal("measurement did not drain")
+	}
+	st = n.Stats()
+	if st.Delivered != 1 || st.Injected != 1 {
+		t.Fatalf("window stats = %+v", st)
+	}
+	if _, ok := st.ByTag["warm"]; ok {
+		t.Fatal("warm-up tag leaked into measurement window")
+	}
+}
+
+func TestResetStatsMidFlight(t *testing.T) {
+	n := meshNet(t, 3, 3, DefaultConfig())
+	if _, err := n.Inject(1, 9, 512, ""); err != nil {
+		t.Fatal(err)
+	}
+	n.Step()
+	n.Step()
+	n.ResetStats()
+	// The in-flight packet must still count as injected so it can be
+	// delivered within the new window without going negative.
+	if !n.RunUntilDrained(100000) {
+		t.Fatal("did not drain")
+	}
+	st := n.Stats()
+	if st.Injected != 1 || st.Delivered != 1 {
+		t.Fatalf("conservation broken across reset: %+v", st)
+	}
+}
+
+func TestTagStatsEmpty(t *testing.T) {
+	var ts TagStats
+	if ts.AvgLatency() != 0 {
+		t.Fatal("empty tag latency should be 0")
+	}
+}
+
+func TestLinkUtilizationBounds(t *testing.T) {
+	n := meshNet(t, 4, 4, DefaultConfig())
+	trace := UniformRandomTrace(n.Nodes(), 300, 128, 0.05, 31)
+	if err := n.Replay(trace, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	util := st.LinkUtilization(n.Cycle())
+	if len(util) == 0 {
+		t.Fatal("no link utilization recorded")
+	}
+	for k, u := range util {
+		if u < 0 || u > 1.0+1e-9 {
+			t.Fatalf("link %v utilization %g out of [0,1]", k, u)
+		}
+	}
+	key, max := st.MaxLinkUtilization(n.Cycle())
+	if max <= 0 || util[key] != max {
+		t.Fatalf("max utilization inconsistent: %v %g", key, max)
+	}
+	// Degenerate cycle count.
+	if got := st.LinkUtilization(0); len(got) != 0 {
+		t.Fatal("zero cycles should give empty map")
+	}
+}
+
+func TestStatsDescribeContainsSections(t *testing.T) {
+	n := meshNet(t, 2, 2, DefaultConfig())
+	n.Inject(1, 4, 64, "x")
+	n.RunUntilDrained(10000)
+	d := n.Stats().Describe()
+	for _, want := range []string{"packets:", "latency:", "activity:", "link "} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("describe missing %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// TrafficEvent is one scheduled injection.
+type TrafficEvent struct {
+	Cycle int64
+	Src   graph.NodeID
+	Dst   graph.NodeID
+	Bits  int
+	Tag   string
+}
+
+// Trace is a time-ordered injection schedule.
+type Trace []TrafficEvent
+
+// Replay drives the network with the trace, injecting events as their
+// cycles come due, then drains the network. It returns an error if the
+// network fails to drain within drainLimit extra cycles or an injection is
+// invalid.
+func (n *Network) Replay(trace Trace, drainLimit int64) error {
+	i := 0
+	for i < len(trace) {
+		// Inject everything due at or before the current cycle.
+		for i < len(trace) && trace[i].Cycle <= n.cycle {
+			ev := trace[i]
+			if _, err := n.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil {
+				return fmt.Errorf("noc: replay event %d: %w", i, err)
+			}
+			i++
+		}
+		n.Step()
+	}
+	if !n.RunUntilDrained(drainLimit) {
+		return fmt.Errorf("noc: network failed to drain %d packets within %d cycles",
+			n.Pending(), drainLimit)
+	}
+	return nil
+}
+
+// RouteChooser picks a route and per-position VC list for one traffic
+// event — the plug-in point for oblivious, stochastic and adaptive
+// strategies.
+type RouteChooser func(ev TrafficEvent) (route []graph.NodeID, vcs []int, err error)
+
+// ReplayWith drives the network with the trace like Replay, but asks the
+// chooser for each packet's route instead of the built-in routing table.
+func (n *Network) ReplayWith(trace Trace, drainLimit int64, choose RouteChooser) error {
+	i := 0
+	for i < len(trace) {
+		for i < len(trace) && trace[i].Cycle <= n.cycle {
+			ev := trace[i]
+			route, vcs, err := choose(ev)
+			if err != nil {
+				return fmt.Errorf("noc: replay event %d: %w", i, err)
+			}
+			if _, err := n.InjectRouted(ev.Src, ev.Dst, ev.Bits, ev.Tag, route, vcs); err != nil {
+				return fmt.Errorf("noc: replay event %d: %w", i, err)
+			}
+			i++
+		}
+		n.Step()
+	}
+	if !n.RunUntilDrained(drainLimit) {
+		return fmt.Errorf("noc: network failed to drain %d packets within %d cycles",
+			n.Pending(), drainLimit)
+	}
+	return nil
+}
+
+// UniformRandomTrace generates count packets of the given size at the
+// given injection rate (packets per node per cycle) with uniformly random
+// sources and destinations. Deterministic for a fixed seed.
+func UniformRandomTrace(nodes []graph.NodeID, count, bits int, ratePerNodePerCycle float64, seed int64) Trace {
+	if len(nodes) < 2 || count <= 0 || ratePerNodePerCycle <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var trace Trace
+	cycle := int64(0)
+	perCycle := ratePerNodePerCycle * float64(len(nodes))
+	acc := 0.0
+	for len(trace) < count {
+		acc += perCycle
+		for acc >= 1 && len(trace) < count {
+			acc--
+			src := nodes[rng.Intn(len(nodes))]
+			dst := nodes[rng.Intn(len(nodes))]
+			for dst == src {
+				dst = nodes[rng.Intn(len(nodes))]
+			}
+			trace = append(trace, TrafficEvent{Cycle: cycle, Src: src, Dst: dst, Bits: bits})
+		}
+		cycle++
+	}
+	return trace
+}
+
+// PermutationTrace sends one packet from every node to a fixed permutation
+// partner (bit-reversal style shuffle over the sorted node order), all at
+// cycle zero — a classic stress pattern.
+func PermutationTrace(nodes []graph.NodeID, bits int) Trace {
+	n := len(nodes)
+	if n < 2 {
+		return nil
+	}
+	var trace Trace
+	for i, src := range nodes {
+		dst := nodes[(i+n/2)%n]
+		if dst == src {
+			continue
+		}
+		trace = append(trace, TrafficEvent{Cycle: 0, Src: src, Dst: dst, Bits: bits})
+	}
+	return trace
+}

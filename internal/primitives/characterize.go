@@ -1,0 +1,84 @@
+package primitives
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/energy"
+)
+
+// Characterization is the pre-computed cost table of one primitive under
+// one technology model — the data the paper stores in the library
+// ("ES-bit values for different process technologies, voltage levels,
+// operating frequencies are also stored in the library", Section 3). The
+// decomposition normally prices matches against the actual floorplan;
+// these tables give the floorplan-independent components, useful for
+// library design and quick estimation.
+type Characterization struct {
+	Primitive string
+	Tech      string
+	// SwitchEnergyPerBit is the total switch traversal energy (pJ) to
+	// deliver one bit across every representation edge of the primitive:
+	// Σ_routes (hops+1) · ESbit.
+	SwitchEnergyPerBit float64
+	// LinkEnergyPerBitPerMM is the link energy coefficient: Σ_routes
+	// hops · ELbit(1mm), to be scaled by the realized mean link length.
+	LinkEnergyPerBitPerMM float64
+	// TotalHops is Σ over representation edges of the route hop count.
+	TotalHops int
+	// Links is the implementation link count (wiring cost).
+	Links int
+	// Rounds is the optimal schedule length.
+	Rounds int
+}
+
+// Characterize evaluates the cost table for every primitive in the
+// library under every given technology model.
+func Characterize(lib *Library, models []energy.Model) []Characterization {
+	var out []Characterization
+	for _, p := range lib.Primitives() {
+		totalHops := 0
+		for _, route := range p.Routes {
+			totalHops += len(route) - 1
+		}
+		for _, m := range models {
+			var sw, ln float64
+			for _, route := range p.Routes {
+				hops := len(route) - 1
+				sw += float64(hops+1) * m.SwitchBit
+				ln += float64(hops) * m.LinkBit(1)
+			}
+			out = append(out, Characterization{
+				Primitive:             p.Name,
+				Tech:                  m.Name,
+				SwitchEnergyPerBit:    sw,
+				LinkEnergyPerBitPerMM: ln,
+				TotalHops:             totalHops,
+				Links:                 p.ImplLinkCount(),
+				Rounds:                p.Rounds(),
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Primitive != out[j].Primitive {
+			return out[i].Primitive < out[j].Primitive
+		}
+		return out[i].Tech < out[j].Tech
+	})
+	return out
+}
+
+// CharacterizationTable renders the characterizations as an aligned text
+// table for library reports.
+func CharacterizationTable(cs []Characterization) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-8s %10s %14s %6s %6s %7s\n",
+		"prim", "tech", "sw pJ/bit", "link pJ/bit/mm", "hops", "links", "rounds")
+	for _, c := range cs {
+		fmt.Fprintf(&b, "%-8s %-8s %10.2f %14.2f %6d %6d %7d\n",
+			c.Primitive, c.Tech, c.SwitchEnergyPerBit, c.LinkEnergyPerBitPerMM,
+			c.TotalHops, c.Links, c.Rounds)
+	}
+	return b.String()
+}

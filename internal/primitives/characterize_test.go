@@ -1,0 +1,79 @@
+package primitives
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/energy"
+)
+
+func TestCharacterizeAllPrimitivesAllTechs(t *testing.T) {
+	lib := MustDefault()
+	models := []energy.Model{energy.Tech180, energy.Tech130, energy.Tech100}
+	cs := Characterize(lib, models)
+	if len(cs) != lib.Len()*len(models) {
+		t.Fatalf("characterizations = %d, want %d", len(cs), lib.Len()*len(models))
+	}
+	for _, c := range cs {
+		if c.SwitchEnergyPerBit <= 0 || c.LinkEnergyPerBitPerMM <= 0 {
+			t.Fatalf("nonpositive energy for %s/%s", c.Primitive, c.Tech)
+		}
+		if c.TotalHops <= 0 || c.Links <= 0 || c.Rounds <= 0 {
+			t.Fatalf("nonpositive structure for %s/%s: %+v", c.Primitive, c.Tech, c)
+		}
+	}
+}
+
+func TestCharacterizeMGG4Values(t *testing.T) {
+	lib := MustDefault()
+	cs := Characterize(lib, []energy.Model{energy.Tech180})
+	var mgg4 *Characterization
+	for i := range cs {
+		if cs[i].Primitive == "MGG4" {
+			mgg4 = &cs[i]
+		}
+	}
+	if mgg4 == nil {
+		t.Fatal("MGG4 not characterized")
+	}
+	// MGG4: 8 direct routes (1 hop) + 4 relayed (2 hops) = 16 hops total.
+	if mgg4.TotalHops != 16 {
+		t.Fatalf("MGG4 hops = %d, want 16", mgg4.TotalHops)
+	}
+	// Switch energy: Σ (hops+1)·ESbit = (8·2 + 4·3)·0.98 = 28·0.98.
+	want := 28 * energy.Tech180.SwitchBit
+	if diff := mgg4.SwitchEnergyPerBit - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("MGG4 switch energy = %g, want %g", mgg4.SwitchEnergyPerBit, want)
+	}
+	if mgg4.Links != 4 || mgg4.Rounds != 2 {
+		t.Fatalf("MGG4 structure: %+v", mgg4)
+	}
+}
+
+func TestCharacterizeScalesWithTechnology(t *testing.T) {
+	lib := MustDefault()
+	cs := Characterize(lib, []energy.Model{energy.Tech180, energy.Tech100})
+	byKey := map[string]Characterization{}
+	for _, c := range cs {
+		byKey[c.Primitive+"/"+c.Tech] = c
+	}
+	for _, p := range lib.Primitives() {
+		old := byKey[p.Name+"/180nm"]
+		new100 := byKey[p.Name+"/100nm"]
+		if new100.SwitchEnergyPerBit >= old.SwitchEnergyPerBit {
+			t.Fatalf("%s: 100nm not cheaper than 180nm", p.Name)
+		}
+	}
+}
+
+func TestCharacterizationTableFormat(t *testing.T) {
+	lib := MustDefault()
+	s := CharacterizationTable(Characterize(lib, []energy.Model{energy.Tech130}))
+	if !strings.Contains(s, "MGG4") || !strings.Contains(s, "130nm") {
+		t.Fatalf("table missing entries:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != lib.Len()+1 {
+		t.Fatalf("table rows = %d, want %d", len(lines), lib.Len()+1)
+	}
+}

@@ -1,0 +1,88 @@
+package primitives
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGossip6Optimality(t *testing.T) {
+	p, err := NewGossip6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size != 6 || p.Name != "MGG6" {
+		t.Fatalf("size/name = %d/%s", p.Size, p.Name)
+	}
+	// Known minimum: G(6) = 9 links, ceil(log2 6) = 3 rounds.
+	if p.ImplLinkCount() != 9 {
+		t.Fatalf("links = %d, want 9", p.ImplLinkCount())
+	}
+	if p.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want 3", p.Rounds())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGossip6ScheduleDeliversEverything(t *testing.T) {
+	p, _ := NewGossip6()
+	knows := make(map[graph.NodeID]map[graph.NodeID]bool)
+	for _, v := range p.Impl.Nodes() {
+		knows[v] = map[graph.NodeID]bool{v: true}
+	}
+	for _, round := range p.Schedule {
+		type upd struct{ who, what graph.NodeID }
+		var updates []upd
+		for _, tr := range round {
+			for src := range knows[tr.From] {
+				updates = append(updates, upd{tr.To, src})
+			}
+			for src := range knows[tr.To] {
+				updates = append(updates, upd{tr.From, src})
+			}
+		}
+		for _, u := range updates {
+			knows[u.who][u.what] = true
+		}
+	}
+	for _, v := range p.Impl.Nodes() {
+		if len(knows[v]) != 6 {
+			t.Fatalf("node %d knows %d of 6 after 3 rounds", v, len(knows[v]))
+		}
+	}
+}
+
+func TestGossip6RoutesWithinTwoHops(t *testing.T) {
+	p, _ := NewGossip6()
+	if len(p.Routes) != 30 {
+		t.Fatalf("routes = %d, want 30 (all ordered pairs)", len(p.Routes))
+	}
+	for key, route := range p.Routes {
+		if len(route)-1 > 2 {
+			t.Fatalf("route %v for %v longer than 2 hops", route, key)
+		}
+	}
+}
+
+func TestLibraryWithGossip6(t *testing.T) {
+	g6, err := NewGossip6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := NewGossip(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := FromPrimitives(g6, g4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.ByName("MGG6") == nil {
+		t.Fatal("MGG6 not in library")
+	}
+	if lib.Primitives()[0].ID != 1 || lib.Primitives()[1].ID != 2 {
+		t.Fatal("IDs not assigned")
+	}
+}

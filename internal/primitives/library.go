@@ -1,0 +1,192 @@
+package primitives
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Library is the ordered communication library L = {P1, P2, ..., Pn} of the
+// paper's Definition 4. The order is the order in which the decomposition
+// algorithm tries primitives; IDs printed in decomposition listings are the
+// 1-based positions in this order.
+type Library struct {
+	prims []*Primitive
+}
+
+// Config selects which primitives a default library contains. The paper's
+// library uses "minimum gossip and broadcast graphs that have efficient 2-D
+// implementations and paths and loops of various sizes" (Section 3).
+type Config struct {
+	// GossipSizes lists gossip primitive sizes; each must be a power of
+	// two >= 2.
+	GossipSizes []int
+	// BroadcastSizes lists broadcast primitive vertex counts (root plus
+	// receivers), each >= 2.
+	BroadcastSizes []int
+	// LoopSizes lists loop lengths, each >= 3.
+	LoopSizes []int
+	// PathSizes lists path vertex counts, each >= 2.
+	PathSizes []int
+}
+
+// DefaultConfig is the library used throughout the paper's experiments:
+// gossips MGG4 and MGG8, broadcasts G122, G123 and G124, loops L4 and L5,
+// and the path P3. Larger primitives are deliberately excluded: they need
+// more wiring resources and become less likely to be detected (Section 3,
+// "Design of the Communication Library"). The single-edge path P2 is also
+// excluded — it would match any nonempty graph, so no decomposition would
+// ever report a remainder (the paper's AES output does report one) and the
+// branching factor would degenerate to one branch per leftover edge.
+func DefaultConfig() Config {
+	return Config{
+		GossipSizes:    []int{4, 8},
+		BroadcastSizes: []int{5, 4, 3},
+		LoopSizes:      []int{4, 5},
+		PathSizes:      []int{3},
+	}
+}
+
+// NewLibrary builds a library from the config, ordering primitives by
+// decreasing representation-edge count (richest patterns first) with ties
+// broken by construction order. This ordering lets the branch-and-bound
+// peel the densest structure first, which is also the ablation baseline.
+func NewLibrary(cfg Config) (*Library, error) {
+	var prims []*Primitive
+	for _, n := range cfg.GossipSizes {
+		p, err := NewGossip(n)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, p)
+	}
+	for _, n := range cfg.BroadcastSizes {
+		p, err := NewBroadcast(n)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, p)
+	}
+	for _, n := range cfg.LoopSizes {
+		p, err := NewLoop(n)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, p)
+	}
+	for _, n := range cfg.PathSizes {
+		p, err := NewPath(n)
+		if err != nil {
+			return nil, err
+		}
+		prims = append(prims, p)
+	}
+	lib := &Library{}
+	for _, p := range prims {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		lib.prims = append(lib.prims, p)
+	}
+	lib.sortByRichness()
+	lib.renumber()
+	return lib, nil
+}
+
+// MustDefault returns the default library, panicking on construction
+// errors (which would be a programming bug, not an input condition).
+func MustDefault() *Library {
+	lib, err := NewLibrary(DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}
+
+// FromPrimitives builds a library from explicit primitives in the given
+// order, validating each.
+func FromPrimitives(prims ...*Primitive) (*Library, error) {
+	lib := &Library{}
+	for _, p := range prims {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		lib.prims = append(lib.prims, p)
+	}
+	lib.renumber()
+	return lib, nil
+}
+
+// Primitives returns the primitives in library order.
+func (l *Library) Primitives() []*Primitive { return l.prims }
+
+// Len returns the number of primitives.
+func (l *Library) Len() int { return len(l.prims) }
+
+// ByName returns the primitive with the given name, or nil.
+func (l *Library) ByName(name string) *Primitive {
+	for _, p := range l.prims {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// ByID returns the primitive with the given 1-based library ID, or nil.
+func (l *Library) ByID(id int) *Primitive {
+	if id < 1 || id > len(l.prims) {
+		return nil
+	}
+	return l.prims[id-1]
+}
+
+// Reversed returns a new library with the primitive order reversed
+// (smallest-first). Used by the library-order ablation.
+func (l *Library) Reversed() *Library {
+	r := &Library{prims: make([]*Primitive, len(l.prims))}
+	for i, p := range l.prims {
+		cp := *p
+		r.prims[len(l.prims)-1-i] = &cp
+	}
+	r.renumber()
+	return r
+}
+
+// MaxDiameter returns the largest implementation-graph diameter across the
+// library. Section 4.3 observes that the maximum hop count between any two
+// nodes of the synthesized architecture is bounded by this value.
+func (l *Library) MaxDiameter() int {
+	d := 0
+	for _, p := range l.prims {
+		if pd := p.Impl.Diameter(); pd > d {
+			d = pd
+		}
+	}
+	return d
+}
+
+// Describe renders the whole library, Figure-1 style.
+func (l *Library) Describe() string {
+	var b strings.Builder
+	for _, p := range l.prims {
+		fmt.Fprintf(&b, "%d: %s", p.ID, p.Describe())
+	}
+	return b.String()
+}
+
+func (l *Library) sortByRichness() {
+	// Stable insertion by decreasing rep edge count keeps construction
+	// order among equals.
+	prims := l.prims
+	for i := 1; i < len(prims); i++ {
+		for j := i; j > 0 && prims[j].Rep.EdgeCount() > prims[j-1].Rep.EdgeCount(); j-- {
+			prims[j], prims[j-1] = prims[j-1], prims[j]
+		}
+	}
+}
+
+func (l *Library) renumber() {
+	for i, p := range l.prims {
+		p.ID = i + 1
+	}
+}

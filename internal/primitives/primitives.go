@@ -1,0 +1,178 @@
+// Package primitives implements the paper's communication library
+// (Section 3, Figure 1): generic communication primitives — gossip
+// (all-to-all), broadcast (one-to-all), multicast (one-to-many), paths and
+// loops — each with
+//
+//   - a representation graph: the traffic pattern the decomposition
+//     algorithm searches for in the application characterization graph, and
+//   - an optimal implementation graph: the physical link topology on which
+//     the primitive completes in minimum time with minimum edges (Minimum
+//     Gossip Graphs and Minimum Broadcast Graphs, references [10][11]), and
+//   - the optimal round schedule that achieves that time, from which the
+//     routing tables of Section 4.5 are derived.
+//
+// The telephone (1-port full-duplex) model is assumed, as in the paper:
+// any processor participates in at most one communication transaction per
+// round.
+package primitives
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kind classifies a primitive.
+type Kind int
+
+const (
+	// Gossip is all-to-all exchange: every node learns every other node's
+	// information (representation graph: complete digraph).
+	Gossip Kind = iota
+	// Broadcast is one-to-all dissemination from the root (representation
+	// graph: out-star from vertex 1).
+	Broadcast
+	// Loop is a unidirectional ring of transfers (representation graph:
+	// directed cycle).
+	Loop
+	// Path is a chain of transfers (representation graph: directed path).
+	Path
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Gossip:
+		return "gossip"
+	case Broadcast:
+		return "broadcast"
+	case Loop:
+		return "loop"
+	case Path:
+		return "path"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Transfer is one point-to-point communication inside a round. Exchange
+// marks a full-duplex swap (gossip rounds exchange in both directions over
+// the same link).
+type Transfer struct {
+	From, To graph.NodeID
+	Exchange bool
+}
+
+// Round is one time step of the optimal schedule; all its transfers happen
+// concurrently and respect the 1-port constraint.
+type Round []Transfer
+
+// Primitive bundles a library entry. Vertices are always numbered
+// 1..Size; matchings translate them into application vertices.
+type Primitive struct {
+	// ID is the library index printed in decomposition listings, matching
+	// the paper's output format ("1: MGG4, Mapping: ...").
+	ID int
+	// Name is the paper's label for the primitive (MGG4, G123, L4, P3...).
+	Name string
+	// Kind classifies the primitive.
+	Kind Kind
+	// Size is the number of vertices.
+	Size int
+	// Rep is the representation graph the matcher searches for.
+	Rep *graph.Graph
+	// Impl is the optimal implementation graph. Edges appear in both
+	// directions because physical channels are bidirectional.
+	Impl *graph.Graph
+	// Schedule is the optimal round schedule on Impl.
+	Schedule []Round
+	// Routes maps each representation edge (i,j) to the vertex path i..j
+	// that the optimal schedule uses on Impl. len(path) >= 2.
+	Routes map[[2]graph.NodeID][]graph.NodeID
+}
+
+// Rounds returns the number of rounds of the optimal schedule.
+func (p *Primitive) Rounds() int { return len(p.Schedule) }
+
+// ImplLinkCount returns the number of undirected implementation links.
+func (p *Primitive) ImplLinkCount() int { return p.Impl.EdgeCount() / 2 }
+
+// Validate checks internal consistency: routes exist for every
+// representation edge, follow implementation links, and the schedule obeys
+// the 1-port model. It is used by tests and by custom library builders.
+func (p *Primitive) Validate() error {
+	if p.Size < 2 {
+		return fmt.Errorf("%s: size %d < 2", p.Name, p.Size)
+	}
+	if p.Rep.NodeCount() != p.Size || p.Impl.NodeCount() != p.Size {
+		return fmt.Errorf("%s: rep/impl vertex count mismatch", p.Name)
+	}
+	for _, e := range p.Rep.Edges() {
+		path, ok := p.Routes[[2]graph.NodeID{e.From, e.To}]
+		if !ok {
+			return fmt.Errorf("%s: no route for rep edge %d->%d", p.Name, e.From, e.To)
+		}
+		if len(path) < 2 || path[0] != e.From || path[len(path)-1] != e.To {
+			return fmt.Errorf("%s: malformed route %v for %d->%d", p.Name, path, e.From, e.To)
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if !p.Impl.HasEdge(path[i], path[i+1]) {
+				return fmt.Errorf("%s: route %v uses missing impl link %d-%d", p.Name, path, path[i], path[i+1])
+			}
+		}
+	}
+	for r, round := range p.Schedule {
+		busy := map[graph.NodeID]bool{}
+		for _, tr := range round {
+			if busy[tr.From] || busy[tr.To] {
+				return fmt.Errorf("%s: round %d violates 1-port model", p.Name, r+1)
+			}
+			busy[tr.From] = true
+			busy[tr.To] = true
+			if !p.Impl.HasEdge(tr.From, tr.To) {
+				return fmt.Errorf("%s: round %d transfer %d->%d not an impl link", p.Name, r+1, tr.From, tr.To)
+			}
+		}
+	}
+	return nil
+}
+
+// describeRoutes renders routes deterministically for reports.
+func (p *Primitive) describeRoutes() string {
+	keys := make([][2]graph.NodeID, 0, len(p.Routes))
+	for k := range p.Routes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	s := ""
+	for _, k := range keys {
+		s += fmt.Sprintf("  %d->%d via %v\n", k[0], k[1], p.Routes[k])
+	}
+	return s
+}
+
+// Describe renders a multi-line human-readable report of the primitive,
+// used by `cmd/experiments -fig 1` to dump the library as in Figure 1.
+func (p *Primitive) Describe() string {
+	s := fmt.Sprintf("%s (%s, %d nodes): %d rep edges, %d impl links, %d rounds\n",
+		p.Name, p.Kind, p.Size, p.Rep.EdgeCount(), p.ImplLinkCount(), p.Rounds())
+	for r, round := range p.Schedule {
+		s += fmt.Sprintf("  round %d:", r+1)
+		for _, tr := range round {
+			if tr.Exchange {
+				s += fmt.Sprintf(" (%d<->%d)", tr.From, tr.To)
+			} else {
+				s += fmt.Sprintf(" (%d->%d)", tr.From, tr.To)
+			}
+		}
+		s += "\n"
+	}
+	s += p.describeRoutes()
+	return s
+}

@@ -1,0 +1,402 @@
+package primitives
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGossip4MatchesFigure1(t *testing.T) {
+	p, err := NewGossip(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "MGG4" || p.Size != 4 {
+		t.Fatalf("name/size = %s/%d", p.Name, p.Size)
+	}
+	// Representation: complete digraph on 4 vertices.
+	if p.Rep.EdgeCount() != 12 {
+		t.Fatalf("rep edges = %d, want 12", p.Rep.EdgeCount())
+	}
+	// Implementation: MGG-4 has exactly 4 links (the 4-cycle).
+	if p.ImplLinkCount() != 4 {
+		t.Fatalf("impl links = %d, want 4", p.ImplLinkCount())
+	}
+	// Optimal gossip on 4 nodes takes 2 rounds.
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", p.Rounds())
+	}
+	// Figure 1 schedule: round 1 exchanges (1,3),(2,4); round 2 (1,2),(3,4).
+	r1 := p.Schedule[0]
+	if len(r1) != 2 || r1[0].From != 1 || r1[0].To != 3 || r1[1].From != 2 || r1[1].To != 4 {
+		t.Fatalf("round 1 = %+v, want (1,3),(2,4)", r1)
+	}
+	r2 := p.Schedule[1]
+	if len(r2) != 2 || r2[0].From != 1 || r2[0].To != 2 || r2[1].From != 3 || r2[1].To != 4 {
+		t.Fatalf("round 2 = %+v, want (1,2),(3,4)", r2)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGossip4RouteViaSection45Example(t *testing.T) {
+	// Section 4.5: "if vertex 1 needs to send a message to vertex 4, then
+	// it will forward its message to vertex 3 first".
+	p, _ := NewGossip(4)
+	route := p.Routes[[2]graph.NodeID{1, 4}]
+	want := []graph.NodeID{1, 3, 4}
+	if !reflect.DeepEqual(route, want) {
+		t.Fatalf("route 1->4 = %v, want %v", route, want)
+	}
+}
+
+func TestGossip4AllRoutesWithinTwoHops(t *testing.T) {
+	p, _ := NewGossip(4)
+	for key, route := range p.Routes {
+		hops := len(route) - 1
+		if hops < 1 || hops > 2 {
+			t.Fatalf("route %v for %v has %d hops", route, key, hops)
+		}
+	}
+	if len(p.Routes) != 12 {
+		t.Fatalf("routes = %d, want 12", len(p.Routes))
+	}
+}
+
+func TestGossip8IsHypercube(t *testing.T) {
+	p, err := NewGossip(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Q3: 12 links, gossip in 3 rounds (optimal for 8 nodes).
+	if p.ImplLinkCount() != 12 {
+		t.Fatalf("MGG8 links = %d, want 12", p.ImplLinkCount())
+	}
+	if p.Rounds() != 3 {
+		t.Fatalf("MGG8 rounds = %d, want 3", p.Rounds())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Routes must stay within the hypercube diameter.
+	for key, route := range p.Routes {
+		if len(route)-1 > 3 {
+			t.Fatalf("route %v for %v exceeds Q3 diameter", route, key)
+		}
+	}
+}
+
+func TestGossipRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := NewGossip(n); err == nil {
+			t.Fatalf("NewGossip(%d) accepted", n)
+		}
+	}
+}
+
+func TestGossipScheduleIsOptimalTime(t *testing.T) {
+	// Gossiping on n=2^d nodes cannot finish faster than log2(n) rounds.
+	for _, n := range []int{2, 4, 8, 16} {
+		p, err := NewGossip(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Log2(float64(n)))
+		if p.Rounds() != want {
+			t.Fatalf("MGG%d rounds = %d, want %d", n, p.Rounds(), want)
+		}
+	}
+}
+
+func TestBroadcastG123MatchesFigure1(t *testing.T) {
+	p, err := NewBroadcast(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "G123" {
+		t.Fatalf("name = %s, want G123", p.Name)
+	}
+	// Star with 3 receivers; tree implementation with 3 links; 2 rounds.
+	if p.Rep.EdgeCount() != 3 || p.ImplLinkCount() != 3 {
+		t.Fatalf("rep/impl = %d/%d", p.Rep.EdgeCount(), p.ImplLinkCount())
+	}
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want ceil(log2 4) = 2", p.Rounds())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastG124FiveNodes(t *testing.T) {
+	p, err := NewBroadcast(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "G124" || p.Size != 5 {
+		t.Fatalf("name/size = %s/%d, want G124/5", p.Name, p.Size)
+	}
+	if p.Rounds() != 3 {
+		t.Fatalf("rounds = %d, want ceil(log2 5) = 3", p.Rounds())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastOptimalRoundsAllSizes(t *testing.T) {
+	for n := 2; n <= 17; n++ {
+		p, err := NewBroadcast(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(math.Ceil(math.Log2(float64(n))))
+		if p.Rounds() != want {
+			t.Fatalf("broadcast n=%d rounds = %d, want %d", n, p.Rounds(), want)
+		}
+		if p.ImplLinkCount() != n-1 {
+			t.Fatalf("broadcast n=%d links = %d, want %d (tree)", n, p.ImplLinkCount(), n-1)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBroadcastRoutesFollowTree(t *testing.T) {
+	p, _ := NewBroadcast(8)
+	// Every route starts at the root.
+	for key, route := range p.Routes {
+		if key[0] != 1 {
+			t.Fatalf("broadcast route from non-root: %v", key)
+		}
+		if route[0] != 1 || route[len(route)-1] != key[1] {
+			t.Fatalf("malformed route %v for %v", route, key)
+		}
+	}
+	if len(p.Routes) != 7 {
+		t.Fatalf("routes = %d, want 7", len(p.Routes))
+	}
+}
+
+func TestLoopPrimitive(t *testing.T) {
+	p, err := NewLoop(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "L4" {
+		t.Fatalf("name = %s", p.Name)
+	}
+	if p.Rep.EdgeCount() != 4 || p.ImplLinkCount() != 4 {
+		t.Fatalf("rep/impl = %d/%d, want 4/4", p.Rep.EdgeCount(), p.ImplLinkCount())
+	}
+	// Even ring: 2 rounds.
+	if p.Rounds() != 2 {
+		t.Fatalf("rounds = %d, want 2", p.Rounds())
+	}
+	// Every route is a direct link.
+	for key, route := range p.Routes {
+		if len(route) != 2 {
+			t.Fatalf("loop route %v for %v not direct", route, key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopOddNeedsThreeRounds(t *testing.T) {
+	p, err := NewLoop(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds() != 3 {
+		t.Fatalf("L5 rounds = %d, want 3 (odd cycle edge chromatic number)", p.Rounds())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopRejectsTooSmall(t *testing.T) {
+	if _, err := NewLoop(2); err == nil {
+		t.Fatal("NewLoop(2) accepted")
+	}
+}
+
+func TestPathPrimitive(t *testing.T) {
+	p, err := NewPath(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "P3" || p.Rep.EdgeCount() != 2 || p.ImplLinkCount() != 2 {
+		t.Fatalf("P3 wrong: %s rep=%d impl=%d", p.Name, p.Rep.EdgeCount(), p.ImplLinkCount())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathTwoNodesSingleRound(t *testing.T) {
+	p, err := NewPath(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rounds() != 1 {
+		t.Fatalf("P2 rounds = %d, want 1", p.Rounds())
+	}
+}
+
+func TestValidateCatchesMissingRoute(t *testing.T) {
+	p, _ := NewLoop(4)
+	delete(p.Routes, [2]graph.NodeID{1, 2})
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted missing route")
+	}
+}
+
+func TestValidateCatchesOnePortViolation(t *testing.T) {
+	p, _ := NewPath(3)
+	// Force both transfers into one round: vertex 2 would be in two
+	// transactions.
+	p.Schedule = []Round{{
+		{From: 1, To: 2},
+		{From: 2, To: 3},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted 1-port violation")
+	}
+}
+
+func TestValidateCatchesRouteOffImpl(t *testing.T) {
+	p, _ := NewGossip(4)
+	p.Routes[[2]graph.NodeID{1, 4}] = []graph.NodeID{1, 4} // 1-4 is not a link in MGG4
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted route over missing link")
+	}
+}
+
+func TestDefaultLibrary(t *testing.T) {
+	lib := MustDefault()
+	if lib.Len() == 0 {
+		t.Fatal("empty default library")
+	}
+	// Ordered by decreasing representation richness: MGG8 (56 edges)
+	// first, then MGG4 (12).
+	if lib.Primitives()[0].Name != "MGG8" || lib.Primitives()[1].Name != "MGG4" {
+		t.Fatalf("library order: %s, %s", lib.Primitives()[0].Name, lib.Primitives()[1].Name)
+	}
+	// IDs are 1-based positions.
+	for i, p := range lib.Primitives() {
+		if p.ID != i+1 {
+			t.Fatalf("primitive %s ID = %d, want %d", p.Name, p.ID, i+1)
+		}
+	}
+	// Lookup by name and ID agree.
+	mgg4 := lib.ByName("MGG4")
+	if mgg4 == nil || lib.ByID(mgg4.ID) != mgg4 {
+		t.Fatal("ByName/ByID disagree")
+	}
+	if lib.ByName("NOPE") != nil || lib.ByID(0) != nil || lib.ByID(99) != nil {
+		t.Fatal("missing lookups should return nil")
+	}
+}
+
+func TestLibraryReversed(t *testing.T) {
+	lib := MustDefault()
+	rev := lib.Reversed()
+	if rev.Len() != lib.Len() {
+		t.Fatal("reversed length differs")
+	}
+	if rev.Primitives()[rev.Len()-1].Name != lib.Primitives()[0].Name {
+		t.Fatal("reversal incorrect")
+	}
+	// Renumbered IDs.
+	if rev.Primitives()[0].ID != 1 {
+		t.Fatal("reversed library not renumbered")
+	}
+	// Original untouched.
+	if lib.Primitives()[0].ID != 1 {
+		t.Fatal("original library mutated")
+	}
+}
+
+func TestLibraryMaxDiameter(t *testing.T) {
+	lib := MustDefault()
+	d := lib.MaxDiameter()
+	// MGG8 (Q3) has diameter 3; G124 binomial tree on 5 nodes also 3.
+	if d != 3 {
+		t.Fatalf("MaxDiameter = %d, want 3", d)
+	}
+}
+
+func TestLibraryDescribeNonEmpty(t *testing.T) {
+	lib := MustDefault()
+	s := lib.Describe()
+	if len(s) == 0 {
+		t.Fatal("empty description")
+	}
+	for _, p := range lib.Primitives() {
+		if !contains(s, p.Name) {
+			t.Fatalf("description missing %s", p.Name)
+		}
+	}
+}
+
+func TestFromPrimitivesValidates(t *testing.T) {
+	p, _ := NewLoop(4)
+	p.Schedule = []Round{{{From: 1, To: 3}}} // 1-3 not a ring link
+	if _, err := FromPrimitives(p); err == nil {
+		t.Fatal("FromPrimitives accepted invalid primitive")
+	}
+}
+
+// All-pairs information delivery: simulating the gossip schedule must leave
+// every node knowing every other node's information.
+func TestGossipScheduleDeliversEverything(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		p, _ := NewGossip(n)
+		knows := make(map[graph.NodeID]map[graph.NodeID]bool)
+		for _, v := range p.Impl.Nodes() {
+			knows[v] = map[graph.NodeID]bool{v: true}
+		}
+		for _, round := range p.Schedule {
+			type upd struct{ who, what graph.NodeID }
+			var updates []upd
+			for _, tr := range round {
+				for src := range knows[tr.From] {
+					updates = append(updates, upd{tr.To, src})
+				}
+				if tr.Exchange {
+					for src := range knows[tr.To] {
+						updates = append(updates, upd{tr.From, src})
+					}
+				}
+			}
+			for _, u := range updates {
+				knows[u.who][u.what] = true
+			}
+		}
+		for _, v := range p.Impl.Nodes() {
+			if len(knows[v]) != n {
+				t.Fatalf("MGG%d: node %d knows %d of %d", n, v, len(knows[v]), n)
+			}
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,94 @@
+package randgraph
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/primitives"
+)
+
+func TestPaperFig5Structure(t *testing.T) {
+	g := PaperFig5(16)
+	if g.NodeCount() != 8 {
+		t.Fatalf("nodes = %d, want 8", g.NodeCount())
+	}
+	// 12 (MGG4) + 3*3 (G123s) + 4 (G124) = 25 edge-disjoint edges.
+	if g.EdgeCount() != 25 {
+		t.Fatalf("edges = %d, want 25", g.EdgeCount())
+	}
+	// Spot-check the paper's mapping: all-to-all within {1,2,5,6}.
+	for _, a := range []graph.NodeID{1, 2, 5, 6} {
+		for _, b := range []graph.NodeID{1, 2, 5, 6} {
+			if a != b && !g.HasEdge(a, b) {
+				t.Fatalf("missing gossip edge %d->%d", a, b)
+			}
+		}
+	}
+	if !g.HasEdge(8, 1) || !g.HasEdge(8, 7) {
+		t.Fatal("missing G124 edges from root 8")
+	}
+}
+
+// TestPaperFig5DecomposesExactly reproduces the paper's Figure 5 output:
+// one gossip on {1,2,5,6}, broadcasts rooted at 3, 7, 4 and 8, and no
+// remaining graph.
+func TestPaperFig5DecomposesExactly(t *testing.T) {
+	g := PaperFig5(16)
+	res, err := core.Solve(core.Problem{
+		ACG:     g,
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition")
+	}
+	if res.Best.Remainder.EdgeCount() != 0 {
+		t.Fatalf("remainder = %d edges, paper reports none\n%s",
+			res.Best.Remainder.EdgeCount(), res.Best.PaperListing())
+	}
+	// Planted link cost: MGG4 (4) + G124 (4) + 3x G123 (3) = 17.
+	if res.Best.Cost != 17 {
+		t.Fatalf("cost = %g, want 17", res.Best.Cost)
+	}
+	var gossips, g124, g123 int
+	roots := map[graph.NodeID]bool{}
+	for _, m := range res.Best.Matches {
+		switch m.Primitive.Name {
+		case "MGG4":
+			gossips++
+			// Must sit on {1,2,5,6}.
+			for _, v := range m.Mapping {
+				if v != 1 && v != 2 && v != 5 && v != 6 {
+					t.Fatalf("gossip off the planted set: %v", m.Mapping)
+				}
+			}
+		case "G124":
+			g124++
+			roots[m.Mapping[1]] = true
+		case "G123":
+			g123++
+			roots[m.Mapping[1]] = true
+		default:
+			t.Fatalf("unexpected primitive %s", m.Primitive.Name)
+		}
+	}
+	if gossips != 1 || g124 != 1 || g123 != 3 {
+		t.Fatalf("matches: %d MGG4, %d G124, %d G123\n%s",
+			gossips, g124, g123, res.Best.PaperListing())
+	}
+	for _, want := range []graph.NodeID{3, 4, 7, 8} {
+		if !roots[want] {
+			t.Fatalf("broadcast root %d not recovered (roots %v)", want, roots)
+		}
+	}
+	if err := res.Best.CoverIsExact(g); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,124 @@
+package randgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/primitives"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	g, err := ErdosRenyi(20, 0.2, 8, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 20 {
+		t.Fatalf("nodes = %d", g.NodeCount())
+	}
+	// Expected edges: 20*19*0.2 = 76; allow wide slack.
+	if g.EdgeCount() < 30 || g.EdgeCount() > 140 {
+		t.Fatalf("edges = %d, implausible for p=0.2", g.EdgeCount())
+	}
+	for _, e := range g.Edges() {
+		if e.Volume < 8 || e.Volume > 64 {
+			t.Fatalf("volume %g out of range", e.Volume)
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, _ := ErdosRenyi(10, 0.3, 1, 10, 7)
+	b, _ := ErdosRenyi(10, 0.3, 1, 10, 7)
+	if !graph.Equal(a, b) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestErdosRenyiValidation(t *testing.T) {
+	if _, err := ErdosRenyi(1, 0.5, 1, 2, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := ErdosRenyi(5, 1.5, 1, 2, 1); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+	if _, err := ErdosRenyi(5, 0.5, 3, 2, 1); err == nil {
+		t.Fatal("inverted volumes accepted")
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	empty, _ := ErdosRenyi(6, 0, 1, 1, 1)
+	if empty.EdgeCount() != 0 {
+		t.Fatal("p=0 should give no edges")
+	}
+	full, _ := ErdosRenyi(6, 1, 1, 1, 1)
+	if full.EdgeCount() != 30 {
+		t.Fatalf("p=1 edges = %d, want 30", full.EdgeCount())
+	}
+}
+
+func TestPlantedContainsPrimitives(t *testing.T) {
+	lib := primitives.MustDefault()
+	g, err := Planted(8, lib, []PlantSpec{
+		{Name: "MGG4", Count: 1},
+		{Name: "G123", Count: 2},
+	}, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 8 {
+		t.Fatalf("nodes = %d", g.NodeCount())
+	}
+	// At minimum the MGG4's 12 edges exist (overlaps may merge G123
+	// edges into them).
+	if g.EdgeCount() < 12 {
+		t.Fatalf("edges = %d, too few", g.EdgeCount())
+	}
+}
+
+func TestPlantedValidation(t *testing.T) {
+	lib := primitives.MustDefault()
+	if _, err := Planted(1, lib, nil, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Planted(8, nil, nil, 1, 1); err == nil {
+		t.Fatal("nil library accepted")
+	}
+	if _, err := Planted(8, lib, []PlantSpec{{Name: "NOPE", Count: 1}}, 1, 1); err == nil {
+		t.Fatal("unknown primitive accepted")
+	}
+	if _, err := Planted(3, lib, []PlantSpec{{Name: "MGG4", Count: 1}}, 1, 1); err == nil {
+		t.Fatal("primitive larger than graph accepted")
+	}
+}
+
+func TestPlantedDeterministic(t *testing.T) {
+	lib := primitives.MustDefault()
+	specs := []PlantSpec{{Name: "L4", Count: 2}}
+	a, _ := Planted(10, lib, specs, 8, 11)
+	b, _ := Planted(10, lib, specs, 8, 11)
+	if !graph.Equal(a, b) {
+		t.Fatal("same seed differs")
+	}
+}
+
+// Property: planted graphs always contain a subgraph isomorphic to each
+// planted primitive (verified indirectly through edge counts and degree
+// feasibility; full recovery is exercised in the decompose integration
+// tests).
+func TestPropertyPlantedEdgeBudget(t *testing.T) {
+	lib := primitives.MustDefault()
+	f := func(seed int64) bool {
+		g, err := Planted(9, lib, []PlantSpec{{Name: "L4", Count: 1}, {Name: "G123", Count: 1}}, 4, seed)
+		if err != nil {
+			return false
+		}
+		// L4 has 4 edges, G123 has 3; overlaps can merge but never drop
+		// below the larger single primitive.
+		return g.EdgeCount() >= 4 && g.EdgeCount() <= 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

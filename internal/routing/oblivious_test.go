@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestYXRoutingCompleteAndDeadlockFree(t *testing.T) {
+	arch, err := topology.Mesh(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := YX(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(table, arch); err != nil {
+		t.Fatal(err)
+	}
+	free, err := DeadlockFree(table, arch, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free {
+		t.Fatal("YX routing reported deadlock-prone")
+	}
+}
+
+func TestYXRouteShape(t *testing.T) {
+	table, _ := YX(4, 4)
+	// 1 (r0,c0) to 16 (r3,c3): Y first down column 0, then X along row 3.
+	path, err := table.Route(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.NodeID{1, 5, 9, 13, 14, 15, 16}
+	if !reflect.DeepEqual(path, want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+}
+
+func TestO1TurnClasses(t *testing.T) {
+	o, err := NewMeshO1Turn(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NumVCs() != 2 {
+		t.Fatalf("NumVCs = %d", o.NumVCs())
+	}
+	r0, v0, err := o.Route(1, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, v1, err := o.Route(1, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same length (both minimal), different paths.
+	if len(r0) != len(r1) {
+		t.Fatalf("route lengths differ: %v vs %v", r0, r1)
+	}
+	if reflect.DeepEqual(r0, r1) {
+		t.Fatal("XY and YX routes identical for corner pair")
+	}
+	// VC classes: all 0s for XY, 1s for YX (ejection 0).
+	for i := 0; i+1 < len(v0); i++ {
+		if v0[i] != 0 {
+			t.Fatalf("XY vcs = %v", v0)
+		}
+		if v1[i] != 1 {
+			t.Fatalf("YX vcs = %v", v1)
+		}
+	}
+	if v1[len(v1)-1] != 0 {
+		t.Fatal("ejection VC must be 0")
+	}
+	if _, _, err := o.Route(1, 16, 7); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestO1TurnRandomRouteDeterministicSeed(t *testing.T) {
+	o, _ := NewMeshO1Turn(4, 4)
+	r1 := rand.New(rand.NewSource(3))
+	r2 := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		a, _, err := o.RandomRoute(2, 15, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := o.RandomRoute(2, 15, r2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("seeded random routes differ")
+		}
+	}
+	// Over many draws both classes appear.
+	seen := map[int]bool{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 50; i++ {
+		route, _, _ := o.RandomRoute(1, 16, rng)
+		if route[1] == 2 {
+			seen[0] = true // X first
+		} else {
+			seen[1] = true // Y first
+		}
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatal("random routing never used one of the classes")
+	}
+}
+
+func TestO1TurnAdaptivePrefersLessCongested(t *testing.T) {
+	o, _ := NewMeshO1Turn(4, 4)
+	// Occupancy says node 2 (X-first neighbor of 1) is congested.
+	occ := func(n graph.NodeID) int {
+		if n == 2 {
+			return 10
+		}
+		return 0
+	}
+	route, vcs, err := o.AdaptiveRoute(1, 16, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[1] != 5 {
+		t.Fatalf("adaptive route took congested first hop: %v", route)
+	}
+	if vcs[0] != 1 {
+		t.Fatalf("adaptive YX route must ride VC 1: %v", vcs)
+	}
+	// Ties go to XY.
+	route, _, err = o.AdaptiveRoute(1, 16, func(graph.NodeID) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[1] != 2 {
+		t.Fatalf("tie should pick XY: %v", route)
+	}
+	// Nil probe degrades to XY.
+	route, _, err = o.AdaptiveRoute(1, 16, nil)
+	if err != nil || route[1] != 2 {
+		t.Fatalf("nil probe: %v %v", route, err)
+	}
+}
+
+// Both O1TURN classes together are deadlock-free when each class has its
+// own virtual channel: verify each class's CDG is acyclic independently.
+func TestO1TurnPerClassAcyclic(t *testing.T) {
+	arch, _ := topology.Mesh(4, 4, nil)
+	for _, build := range []func(int, int) (Table, error){XY, YX} {
+		table, err := build(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		free, err := DeadlockFree(table, arch, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !free {
+			t.Fatal("class CDG has a cycle")
+		}
+	}
+}

@@ -1,0 +1,429 @@
+// Package routing builds deterministic routing tables for synthesized and
+// mesh architectures, implementing Section 4.5 of the paper: the optimal
+// gossip/broadcast schedules of the matched primitives induce routes
+// ("each vertex knows precisely how to send a message to the vertices it
+// is not directly connected to"), remaining pairs are completed with
+// shortest paths, deadlock cycles are detected on the channel dependency
+// graph, and virtual channels are assigned to eliminate them.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Table is a deterministic distributed routing table: for every node, the
+// next hop toward every destination. Table[n][d] is undefined for n == d.
+type Table map[graph.NodeID]map[graph.NodeID]graph.NodeID
+
+// NextHop returns the next hop from n toward dst.
+func (t Table) NextHop(n, dst graph.NodeID) (graph.NodeID, bool) {
+	row, ok := t[n]
+	if !ok {
+		return 0, false
+	}
+	nh, ok := row[dst]
+	return nh, ok
+}
+
+// Route follows the table from src to dst, returning the vertex path. It
+// fails if the table is incomplete or loops (a hop count above the node
+// count is treated as a loop).
+func (t Table) Route(src, dst graph.NodeID) ([]graph.NodeID, error) {
+	if src == dst {
+		return []graph.NodeID{src}, nil
+	}
+	path := []graph.NodeID{src}
+	cur := src
+	for cur != dst {
+		nh, ok := t.NextHop(cur, dst)
+		if !ok {
+			return nil, fmt.Errorf("routing: no entry at node %d for destination %d", cur, dst)
+		}
+		path = append(path, nh)
+		cur = nh
+		if len(path) > len(t)+1 {
+			return nil, fmt.Errorf("routing: loop detected from %d to %d: %v", src, dst, path)
+		}
+	}
+	return path, nil
+}
+
+// set installs one hop, detecting conflicting previous entries.
+func (t Table) set(n, dst, next graph.NodeID) error {
+	row, ok := t[n]
+	if !ok {
+		row = make(map[graph.NodeID]graph.NodeID)
+		t[n] = row
+	}
+	if old, ok := row[dst]; ok && old != next {
+		return fmt.Errorf("routing: conflicting next hop at node %d for %d: %d vs %d", n, dst, old, next)
+	}
+	row[dst] = next
+	return nil
+}
+
+// installPath writes all suffix hops of a path into the table: every
+// intermediate node learns its next hop toward the final destination.
+func (t Table) installPath(path []graph.NodeID) error {
+	dst := path[len(path)-1]
+	for i := 0; i+1 < len(path); i++ {
+		if err := t.set(path[i], dst, path[i+1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build constructs the routing table for an architecture. Preferred routes
+// (the primitive-schedule routes recorded during synthesis) are installed
+// first; all remaining node pairs are completed with shortest paths over
+// the architecture links, weighted by physical length, with deterministic
+// tie-breaks.
+//
+// Preferred routes are installed in listing order; a preferred route whose
+// suffixes conflict with an already-installed one is relaxed to
+// shortest-path completion for the conflicting pairs (the table must stay
+// destination-deterministic: one next hop per (node, destination)).
+func Build(arch *topology.Architecture) (Table, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("routing: nil architecture")
+	}
+	if !arch.Connected() {
+		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
+	}
+	t := make(Table)
+	g := arch.Graph()
+
+	for _, pair := range arch.PreferredPairs() {
+		route, _ := arch.PreferredRoute(pair[0], pair[1])
+		if err := t.installPath(route); err != nil {
+			// Conflicting suffix: drop this preferred route; the pair is
+			// completed by shortest path below.
+			continue
+		}
+	}
+
+	w := func(e graph.Edge) float64 {
+		if l, ok := arch.LinkBetween(e.From, e.To); ok {
+			return l.LengthMM
+		}
+		return 1
+	}
+	nodes := arch.Nodes()
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			if _, ok := t.NextHop(src, dst); ok {
+				continue
+			}
+			path, _, ok := g.ShortestPath(src, dst, w)
+			if !ok {
+				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+			}
+			// Install only the first hop (suffix hops may conflict with
+			// preferred routes of other pairs).
+			if err := t.set(src, dst, path[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if err := Validate(t, arch); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildShortestPath constructs a routing table ignoring the architecture's
+// preferred (schedule-derived) routes, using pure length-weighted shortest
+// paths — the routing ablation of the Section 4.5 design choice.
+func BuildShortestPath(arch *topology.Architecture) (Table, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("routing: nil architecture")
+	}
+	if !arch.Connected() {
+		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
+	}
+	t := make(Table)
+	g := arch.Graph()
+	w := func(e graph.Edge) float64 {
+		if l, ok := arch.LinkBetween(e.From, e.To); ok {
+			return l.LengthMM
+		}
+		return 1
+	}
+	nodes := arch.Nodes()
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			path, _, ok := g.ShortestPath(src, dst, w)
+			if !ok {
+				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+			}
+			if err := t.set(src, dst, path[1]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := Validate(t, arch); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// XY builds dimension-ordered XY routing for a rows x cols mesh with
+// row-major 1-based node ids: packets first correct the column (X), then
+// the row (Y). XY routing on a mesh is deadlock-free.
+func XY(rows, cols int) (Table, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("routing: bad mesh %dx%d", rows, cols)
+	}
+	t := make(Table)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c + 1) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			n := id(r, c)
+			for dr := 0; dr < rows; dr++ {
+				for dc := 0; dc < cols; dc++ {
+					d := id(dr, dc)
+					if d == n {
+						continue
+					}
+					var next graph.NodeID
+					switch {
+					case dc > c:
+						next = id(r, c+1)
+					case dc < c:
+						next = id(r, c-1)
+					case dr > r:
+						next = id(r+1, c)
+					default:
+						next = id(r-1, c)
+					}
+					if err := t.set(n, d, next); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Validate checks that the table is complete (every ordered pair has a
+// route), loop-free, and uses only architecture links.
+func Validate(t Table, arch *topology.Architecture) error {
+	nodes := arch.Nodes()
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			path, err := t.Route(src, dst)
+			if err != nil {
+				return err
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !arch.HasLink(path[i], path[i+1]) {
+					return fmt.Errorf("routing: %d->%d uses missing link %d-%d",
+						src, dst, path[i], path[i+1])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AverageHops returns the mean route length in hops over all ordered node
+// pairs.
+func AverageHops(t Table, arch *topology.Architecture) (float64, error) {
+	nodes := arch.Nodes()
+	total, count := 0, 0
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			path, err := t.Route(src, dst)
+			if err != nil {
+				return 0, err
+			}
+			total += len(path) - 1
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return float64(total) / float64(count), nil
+}
+
+// Channel is a directed use of a physical link.
+type Channel struct {
+	From, To graph.NodeID
+}
+
+// ChannelDependencyGraph builds the channel dependency graph of the routes
+// in the table over the given traffic pairs (nil means all ordered pairs):
+// vertices are directed channels, and an edge c1 -> c2 means some route
+// holds c1 while requesting c2. Deadlock is possible iff this graph has a
+// directed cycle (Dally & Seitz).
+//
+// Channels are encoded as graph vertices via a dense index; the returned
+// index maps channel -> vertex id.
+func ChannelDependencyGraph(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (*graph.Graph, map[Channel]graph.NodeID, error) {
+	if pairs == nil {
+		nodes := arch.Nodes()
+		for _, s := range nodes {
+			for _, d := range nodes {
+				if s != d {
+					pairs = append(pairs, [2]graph.NodeID{s, d})
+				}
+			}
+		}
+	}
+	idx := make(map[Channel]graph.NodeID)
+	cdg := graph.New("cdg")
+	chanID := func(c Channel) graph.NodeID {
+		if id, ok := idx[c]; ok {
+			return id
+		}
+		id := graph.NodeID(len(idx) + 1)
+		idx[c] = id
+		cdg.AddNode(id)
+		return id
+	}
+	for _, pr := range pairs {
+		path, err := t.Route(pr[0], pr[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		for i := 0; i+2 < len(path); i++ {
+			c1 := Channel{From: path[i], To: path[i+1]}
+			c2 := Channel{From: path[i+1], To: path[i+2]}
+			cdg.SetEdge(graph.Edge{From: chanID(c1), To: chanID(c2)})
+		}
+		if len(path) == 2 {
+			chanID(Channel{From: path[0], To: path[1]})
+		}
+	}
+	return cdg, idx, nil
+}
+
+// DeadlockFree reports whether the routes over the given traffic pairs
+// (nil = all pairs) are deadlock-free on a single virtual channel.
+func DeadlockFree(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (bool, error) {
+	cdg, _, err := ChannelDependencyGraph(t, arch, pairs)
+	if err != nil {
+		return false, err
+	}
+	return !cdg.HasDirectedCycle(), nil
+}
+
+// VCAssignment maps each (route position) to a virtual channel, via the
+// dateline scheme of AssignVirtualChannels.
+type VCAssignment struct {
+	// NumVCs is the number of virtual channels required.
+	NumVCs int
+	// singleVC short-circuits escalation when the channel dependency
+	// graph is acyclic and a single channel is provably sufficient.
+	singleVC bool
+	// labels orders all directed channels; packets ascend labels within a
+	// VC and bump the VC on every descent.
+	labels map[Channel]int
+}
+
+// VCForHop returns the virtual channel a packet occupies on the i-th hop
+// (0-based) of the given route.
+func (a VCAssignment) VCForHop(route []graph.NodeID, hop int) int {
+	if a.singleVC {
+		return 0
+	}
+	vc := 0
+	for i := 1; i <= hop; i++ {
+		prev := Channel{From: route[i-1], To: route[i]}
+		cur := Channel{From: route[i], To: route[i+1]}
+		if a.labels[cur] <= a.labels[prev] {
+			vc++
+		}
+	}
+	return vc
+}
+
+// AssignVirtualChannels produces a provably deadlock-free virtual channel
+// assignment for the table's routes over the given pairs (nil = all): all
+// directed channels are totally ordered (the dateline order), a packet
+// starts on VC 0 and moves to the next VC whenever its next channel does
+// not increase in the order. Within one VC, every dependency goes up the
+// order, so each VC's dependency graph is acyclic and the whole network is
+// deadlock-free (Dally & Seitz dateline argument). NumVCs is 1 + the
+// maximum number of descents on any route.
+func AssignVirtualChannels(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (VCAssignment, error) {
+	if pairs == nil {
+		nodes := arch.Nodes()
+		for _, s := range nodes {
+			for _, d := range nodes {
+				if s != d {
+					pairs = append(pairs, [2]graph.NodeID{s, d})
+				}
+			}
+		}
+	}
+	// Canonical total order: sort channels lexicographically.
+	chanSet := make(map[Channel]struct{})
+	routes := make([][]graph.NodeID, 0, len(pairs))
+	for _, pr := range pairs {
+		path, err := t.Route(pr[0], pr[1])
+		if err != nil {
+			return VCAssignment{}, err
+		}
+		routes = append(routes, path)
+		for i := 0; i+1 < len(path); i++ {
+			chanSet[Channel{From: path[i], To: path[i+1]}] = struct{}{}
+		}
+	}
+	chans := make([]Channel, 0, len(chanSet))
+	for c := range chanSet {
+		chans = append(chans, c)
+	}
+	sort.Slice(chans, func(i, j int) bool {
+		if chans[i].From != chans[j].From {
+			return chans[i].From < chans[j].From
+		}
+		return chans[i].To < chans[j].To
+	})
+	labels := make(map[Channel]int, len(chans))
+	for i, c := range chans {
+		labels[c] = i
+	}
+	a := VCAssignment{NumVCs: 1, labels: labels}
+	// If the channel dependency graph is already acyclic (as for XY on a
+	// mesh), a single channel is provably deadlock-free and no dateline
+	// escalation is needed.
+	if free, err := DeadlockFree(t, arch, pairs); err == nil && free {
+		a.singleVC = true
+		return a, nil
+	}
+	for _, path := range routes {
+		descents := 0
+		for i := 2; i < len(path); i++ {
+			prev := Channel{From: path[i-2], To: path[i-1]}
+			cur := Channel{From: path[i-1], To: path[i]}
+			if labels[cur] <= labels[prev] {
+				descents++
+			}
+		}
+		if descents+1 > a.NumVCs {
+			a.NumVCs = descents + 1
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,100 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func TestBuildShortestPathOnMesh(t *testing.T) {
+	arch, err := topology.Mesh(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := BuildShortestPath(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(table, arch); err != nil {
+		t.Fatal(err)
+	}
+	// All routes are minimal: hop count equals Manhattan distance.
+	avg, err := AverageHops(table, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy, _ := XY(3, 3)
+	want, _ := AverageHops(xy, arch)
+	if avg != want {
+		t.Fatalf("shortest-path avg hops %g != minimal %g", avg, want)
+	}
+}
+
+func TestBuildShortestPathIgnoresPreferredRoutes(t *testing.T) {
+	// Architecture with a deliberately long preferred route: shortest-path
+	// build must not take it.
+	arch := topology.New("t", graph.Range(1, 4), nil)
+	for _, l := range [][2]graph.NodeID{{1, 2}, {2, 3}, {3, 4}, {1, 4}} {
+		if err := arch.AddLink(l[0], l[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arch.SetPreferredRoute([]graph.NodeID{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := BuildShortestPath(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := sp.Route(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("shortest-path route = %v, want direct", path)
+	}
+	// The preferred-route build honors the detour instead.
+	pref, err := Build(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err = pref.Route(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 4 {
+		t.Fatalf("preferred route = %v, want the 3-hop detour", path)
+	}
+}
+
+func TestBuildShortestPathRejectsBadInput(t *testing.T) {
+	if _, err := BuildShortestPath(nil); err == nil {
+		t.Fatal("nil arch accepted")
+	}
+	disc := topology.New("d", graph.Range(1, 4), nil)
+	disc.AddLink(1, 2, 0)
+	disc.AddLink(3, 4, 0)
+	if _, err := BuildShortestPath(disc); err == nil {
+		t.Fatal("disconnected arch accepted")
+	}
+}
+
+func TestNewMeshO1TurnRejectsBadDims(t *testing.T) {
+	if _, err := NewMeshO1Turn(0, 4); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+	if _, err := YX(4, 0); err == nil {
+		t.Fatal("bad YX dims accepted")
+	}
+}
+
+func TestDeadlockFreeErrorOnIncompleteTable(t *testing.T) {
+	arch, _ := topology.Mesh(2, 2, nil)
+	if _, err := DeadlockFree(Table{}, arch, nil); err == nil {
+		t.Fatal("incomplete table accepted")
+	}
+	if _, err := AssignVirtualChannels(Table{}, arch, nil); err == nil {
+		t.Fatal("incomplete table accepted by VC assignment")
+	}
+}

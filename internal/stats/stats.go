@@ -1,0 +1,114 @@
+// Package stats provides the small numeric helpers the benchmark harness
+// uses to aggregate and print experiment series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for fewer than 2
+// values).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Series is a labeled (x, y) sequence for experiment output.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders the series as an aligned two-column text table.
+func (s *Series) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n%-12s %-12s\n", s.Name, s.XLabel, s.YLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%-12.4g %-12.4g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// CSV renders the series as comma-separated values with a header.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s\n", s.XLabel, s.YLabel)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%g,%g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}

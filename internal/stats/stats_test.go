@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %g", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-value stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(got-2.1381) > 1e-3 {
+		t.Fatalf("stddev = %g", got)
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %g/%g", Min(xs), Max(xs))
+	}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %g", Median(xs))
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty cases")
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := Series{Name: "fig4a", XLabel: "nodes", YLabel: "seconds"}
+	s.Add(5, 0.01)
+	s.Add(10, 0.05)
+	tab := s.Table()
+	if !strings.Contains(tab, "fig4a") || !strings.Contains(tab, "nodes") {
+		t.Fatalf("table = %q", tab)
+	}
+	csv := s.CSV()
+	if !strings.HasPrefix(csv, "nodes,seconds\n5,0.01\n") {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max.
+func TestPropertyOrderStatistics(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			// Exclude magnitudes whose sum would overflow float64 — the
+			// property under test is ordering, not overflow behavior.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e150 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		lo, hi := Min(xs), Max(xs)
+		return lo <= Median(xs) && Median(xs) <= hi && lo <= Mean(xs)+1e-9 && Mean(xs) <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package tgff generates random task graphs in the style of TGFF ("Task
+// Graphs For Free", Dick, Rhodes & Wolf 1998), the generator behind the
+// paper's Figure 4a benchmarks. Graphs are layered series-parallel DAGs
+// with bounded fan-in/fan-out, annotated with communication volumes and
+// bandwidths — the shape of embedded task graphs such as the 18-node
+// automotive benchmark the paper cites.
+package tgff
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Config controls generation.
+type Config struct {
+	// Nodes is the number of tasks (>= 2).
+	Nodes int
+	// MaxOut and MaxIn bound each task's fan-out and fan-in.
+	MaxOut, MaxIn int
+	// SeriesLength is the expected number of layers; tasks spread evenly.
+	SeriesLength int
+	// VolumeMin and VolumeMax bound edge communication volumes (bits).
+	VolumeMin, VolumeMax float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors TGFF's defaults for small embedded graphs.
+func DefaultConfig(nodes int, seed int64) Config {
+	return Config{
+		Nodes:        nodes,
+		MaxOut:       3,
+		MaxIn:        3,
+		SeriesLength: maxInt(2, nodes/4),
+		VolumeMin:    16,
+		VolumeMax:    256,
+		Seed:         seed,
+	}
+}
+
+// Generate builds a connected DAG with the configured shape.
+func Generate(cfg Config) (*graph.Graph, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("tgff: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.MaxOut < 1 || cfg.MaxIn < 1 {
+		return nil, fmt.Errorf("tgff: fan bounds must be positive")
+	}
+	if cfg.SeriesLength < 2 {
+		cfg.SeriesLength = 2
+	}
+	if cfg.VolumeMax < cfg.VolumeMin {
+		return nil, fmt.Errorf("tgff: volume bounds inverted")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.New(fmt.Sprintf("tgff-n%d-s%d", cfg.Nodes, cfg.Seed))
+
+	vol := func() float64 {
+		return cfg.VolumeMin + rng.Float64()*(cfg.VolumeMax-cfg.VolumeMin)
+	}
+
+	// Spanning-tree backbone: process tasks in id order; each non-root
+	// task picks a random earlier parent with spare fan-out. Earlier
+	// nodes hold i-2 tree edges against (i-1)*MaxOut capacity, so a
+	// parent always exists; connectivity, acyclicity and the fan-out
+	// bound all hold by construction. Layers emerge as tree depth,
+	// bounded by SeriesLength to keep the series-parallel shape.
+	layer := make(map[graph.NodeID]int, cfg.Nodes)
+	g.AddNode(1)
+	layer[1] = 0
+	for i := 2; i <= cfg.Nodes; i++ {
+		id := graph.NodeID(i)
+		g.AddNode(id)
+		var cands []graph.NodeID
+		for j := 1; j < i; j++ {
+			p := graph.NodeID(j)
+			if g.OutDegree(p) < cfg.MaxOut && layer[p] < cfg.SeriesLength-1 {
+				cands = append(cands, p)
+			}
+		}
+		if len(cands) == 0 {
+			// All shallow parents saturated: fall back to any earlier
+			// node with spare fan-out (always exists).
+			for j := 1; j < i; j++ {
+				if g.OutDegree(graph.NodeID(j)) < cfg.MaxOut {
+					cands = append(cands, graph.NodeID(j))
+				}
+			}
+		}
+		parent := cands[rng.Intn(len(cands))]
+		v := vol()
+		g.AddEdge(graph.Edge{From: parent, To: id, Volume: v, Bandwidth: v / 8})
+		layer[id] = layer[parent] + 1
+	}
+
+	// Extra forward edges between distinct layers, respecting both fan
+	// bounds.
+	extra := cfg.Nodes / 2
+	for e := 0; e < extra; e++ {
+		from := graph.NodeID(1 + rng.Intn(cfg.Nodes))
+		to := graph.NodeID(1 + rng.Intn(cfg.Nodes))
+		if layer[from] >= layer[to] {
+			continue
+		}
+		if g.HasEdge(from, to) || g.OutDegree(from) >= cfg.MaxOut || g.InDegree(to) >= cfg.MaxIn {
+			continue
+		}
+		v := vol()
+		g.AddEdge(graph.Edge{From: from, To: to, Volume: v, Bandwidth: v / 8})
+	}
+	return g, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

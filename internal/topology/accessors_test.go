@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+)
+
+func TestLinkKeyCanonical(t *testing.T) {
+	l := Link{A: 2, B: 7}
+	if l.Key() != [2]graph.NodeID{2, 7} {
+		t.Fatalf("key = %v", l.Key())
+	}
+}
+
+func TestPlacementAccessor(t *testing.T) {
+	p := floorplan.Grid(4, 1, 1, 0)
+	a := New("t", graph.Range(1, 4), p)
+	if a.Placement() != p {
+		t.Fatal("placement accessor lost the placement")
+	}
+	b := New("t2", graph.Range(1, 4), nil)
+	if b.Placement() != nil {
+		t.Fatal("nil placement not preserved")
+	}
+}
+
+func TestLinkBetweenMissing(t *testing.T) {
+	a := New("t", graph.Range(1, 4), nil)
+	if _, ok := a.LinkBetween(1, 2); ok {
+		t.Fatal("missing link reported present")
+	}
+	if a.Degree(1) != 0 {
+		t.Fatal("degree of isolated node not 0")
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	a := New("t", []graph.NodeID{3, 1, 2}, nil)
+	nodes := a.Nodes()
+	if nodes[0] != 1 || nodes[1] != 2 || nodes[2] != 3 {
+		t.Fatalf("nodes not sorted: %v", nodes)
+	}
+	nodes[0] = 99
+	if a.Nodes()[0] != 1 {
+		t.Fatal("Nodes returned aliased storage")
+	}
+}
