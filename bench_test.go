@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -309,6 +310,59 @@ func BenchmarkExtensionRoutingStrategies(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(net.Stats().AvgLatency(), "lat-cycles")
+			}
+		})
+	}
+}
+
+// BenchmarkSolverParallelism compares the serial search against the
+// worker-pool search on the Figure 4a TGFF sweep — one iteration solves
+// the whole 6..18-node range back to back. Results are identical at every
+// worker count; on a multi-core host the parallel rows should be faster,
+// and they must never be slower than serial beyond noise.
+func BenchmarkSolverParallelism(b *testing.B) {
+	var acgs []*graph.Graph
+	for _, n := range []int{6, 10, 14, 18} {
+		acg, err := tgff.Generate(tgff.DefaultConfig(n, 42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acgs = append(acgs, acg)
+	}
+	for _, par := range []int{1, 2, 0} {
+		name := fmt.Sprintf("workers-%d", par)
+		if par == 0 {
+			name = fmt.Sprintf("workers-%d", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{Mode: core.CostLinks, Timeout: 30 * time.Second, Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				for _, acg := range acgs {
+					solveOnce(b, acg, opts)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIsoCache quantifies the memoized match cache on the AES
+// decomposition: identical search, VF2 re-run from scratch vs served from
+// the cache.
+func BenchmarkAblationIsoCache(b *testing.B) {
+	acg := AESACG(0.1)
+	for _, disabled := range []bool{false, true} {
+		name := "on"
+		if disabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := core.Options{
+				Mode:            core.CostLinks,
+				Timeout:         60 * time.Second,
+				DisableIsoCache: disabled,
+			}
+			for i := 0; i < b.N; i++ {
+				solveOnce(b, acg, opts)
 			}
 		})
 	}

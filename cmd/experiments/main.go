@@ -14,13 +14,25 @@
 //	experiments -table aes      # Section 5.2 prototype comparison
 //	experiments -table aes -routing sp   # routing ablation
 //	experiments -all            # everything
+//	experiments -batch          # concurrent scenario sweep -> JSON
+//
+// The batch runner sweeps every synthesis scenario (TGFF task graphs,
+// Pajek-style random graphs, the planted Figure 5 benchmark and the AES
+// ACG in both cost modes) across -workers goroutines, each solve itself
+// using -parallel branch-and-bound workers, and writes one JSON record per
+// scenario to -out (default experiments-batch.json, "-" for stdout).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -43,8 +55,16 @@ func main() {
 	routingMode := flag.String("routing", "schedule", "custom-topology routing: schedule or sp")
 	all := flag.Bool("all", false, "run every experiment")
 	seeds := flag.Int("seeds", 5, "random seeds per point for figure 4 sweeps")
+	batch := flag.Bool("batch", false, "run the concurrent scenario sweep and emit JSON")
+	out := flag.String("out", "experiments-batch.json", "batch output path (\"-\" = stdout)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenarios in -batch mode")
+	parallel := flag.Int("parallel", 1, "branch-and-bound workers per solve in -batch mode")
 	flag.Parse()
 
+	if *batch {
+		runBatch(*out, *workers, *parallel, *seeds)
+		return
+	}
 	if *all {
 		for _, f := range []string{"1", "2", "4a", "4b", "5", "6"} {
 			runFig(f, *seeds)
@@ -362,6 +382,185 @@ func runTableAES(routingMode string) {
 		pct(custom.EnergyPerBlock, mesh.EnergyPerBlock))
 	fmt.Println("paper reference:  throughput +36%, latency -17%, power -33%, energy/block -51%")
 
+}
+
+// scenario is one synthesis instance of the batch sweep.
+type scenario struct {
+	Family string `json:"family"` // tgff | pajek | planted | aes
+	Nodes  int    `json:"nodes"`
+	Seed   int64  `json:"seed"`
+	Mode   string `json:"mode"` // links | energy
+	acg    *graph.Graph
+	opts   core.Options
+}
+
+// batchResult is the per-scenario JSON record the batch runner emits.
+type batchResult struct {
+	scenario
+	Cost           float64 `json:"cost"`
+	Matches        int     `json:"matches"`
+	RemainderEdges int     `json:"remainderEdges"`
+	Feasible       bool    `json:"feasible"`
+	NodesExplored  int     `json:"nodesExplored"`
+	BranchesPruned int     `json:"branchesPruned"`
+	IsoCacheHits   int     `json:"isoCacheHits"`
+	IsoCacheMisses int     `json:"isoCacheMisses"`
+	SolverWorkers  int     `json:"solverWorkers"`
+	TimedOut       bool    `json:"timedOut"`
+	Canceled       bool    `json:"canceled"`
+	ElapsedSec     float64 `json:"elapsedSec"`
+	Error          string  `json:"error,omitempty"`
+}
+
+// batchScenarios assembles the sweep: the Figure 4a TGFF range, the Figure
+// 4b Pajek-style range, the planted Figure 5 benchmark and the AES ACG in
+// both cost modes.
+func batchScenarios(seeds, parallel int) []scenario {
+	baseOpts := func(timeout time.Duration) core.Options {
+		return core.Options{
+			Mode:        core.CostLinks,
+			Timeout:     timeout,
+			Parallelism: parallel,
+		}
+	}
+	var out []scenario
+	for n := 5; n <= 18; n++ {
+		for s := 0; s < seeds; s++ {
+			acg, err := tgff.Generate(tgff.DefaultConfig(n, int64(s)))
+			check(err)
+			out = append(out, scenario{
+				Family: "tgff", Nodes: n, Seed: int64(s), Mode: "links",
+				acg: acg, opts: baseOpts(30 * time.Second),
+			})
+		}
+	}
+	for _, n := range []int{10, 15, 20, 25, 30, 35, 40} {
+		for s := 0; s < seeds; s++ {
+			acg, err := randgraph.ErdosRenyi(n, 0.15, 8, 64, int64(s))
+			check(err)
+			opts := baseOpts(60 * time.Second)
+			opts.IsoTimeout = 2 * time.Second
+			out = append(out, scenario{
+				Family: "pajek", Nodes: n, Seed: int64(s), Mode: "links",
+				acg: acg, opts: opts,
+			})
+		}
+	}
+	planted := randgraph.PaperFig5(16)
+	out = append(out, scenario{
+		Family: "planted", Nodes: planted.NodeCount(), Mode: "links",
+		acg: planted, opts: baseOpts(30 * time.Second),
+	})
+	for _, mode := range []core.CostMode{core.CostLinks, core.CostEnergy} {
+		name := "links"
+		if mode == core.CostEnergy {
+			name = "energy"
+		}
+		opts := baseOpts(60 * time.Second)
+		opts.Mode = mode
+		out = append(out, scenario{
+			Family: "aes", Nodes: 16, Mode: name,
+			acg: repro.AESACG(0.1), opts: opts,
+		})
+	}
+	return out
+}
+
+// runBatch sweeps all scenarios across a pool of goroutines and writes the
+// JSON records. Ctrl-C cancels the remaining solves; completed records are
+// still written.
+func runBatch(out string, workers, parallel, seeds int) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	// Open the sink before sweeping so a bad path fails in milliseconds,
+	// not after minutes of solving.
+	sink := os.Stdout
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		check(err)
+		sink = f
+	}
+
+	scenarios := batchScenarios(seeds, parallel)
+	results := make([]batchResult, len(scenarios))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: sweeping %d scenarios on %d workers (%d solver workers each)\n",
+		len(scenarios), workers, parallel)
+
+	var next int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(scenarios) {
+					return
+				}
+				results[i] = runScenario(ctx, scenarios[i])
+				mu.Lock()
+				done++
+				fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s n=%d seed=%d %s: cost=%g in %.3fs\n",
+					done, len(scenarios), results[i].Family, results[i].Nodes,
+					results[i].Seed, results[i].Mode, results[i].Cost, results[i].ElapsedSec)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	enc, err := json.MarshalIndent(results, "", "  ")
+	check(err)
+	enc = append(enc, '\n')
+	_, err = sink.Write(enc)
+	check(err)
+	if sink != os.Stdout {
+		check(sink.Close())
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d records to %s\n", len(results), out)
+	}
+}
+
+func runScenario(ctx context.Context, sc scenario) batchResult {
+	r := batchResult{scenario: sc}
+	start := time.Now()
+	res, err := core.SolveContext(ctx, core.Problem{
+		ACG:       sc.acg,
+		Library:   primitives.MustDefault(),
+		Placement: floorplan.Grid(sc.acg.NodeCount(), 1, 1, 0.2),
+		Energy:    energy.Tech180,
+		Options:   sc.opts,
+	})
+	r.ElapsedSec = time.Since(start).Seconds()
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	r.NodesExplored = res.Stats.NodesExplored
+	r.BranchesPruned = res.Stats.BranchesPruned
+	r.IsoCacheHits = res.Stats.IsoCacheHits
+	r.IsoCacheMisses = res.Stats.IsoCacheMisses
+	r.SolverWorkers = res.Stats.Workers
+	r.TimedOut = res.Stats.TimedOut
+	r.Canceled = res.Stats.Canceled
+	if res.Best != nil {
+		r.Feasible = true
+		r.Cost = res.Best.Cost
+		r.Matches = len(res.Best.Matches)
+		r.RemainderEdges = res.Best.Remainder.EdgeCount()
+	}
+	return r
 }
 
 func check(err error) {

@@ -19,14 +19,20 @@
 //
 //	nocsynth -acg app.json [-mode links|energy] [-tech 180nm|130nm|100nm]
 //	         [-grid n,w,h,gap] [-linkbw Mbps] [-bisection Mbps]
-//	         [-timeout 30s] [-dot] [-routes]
+//	         [-timeout 30s] [-parallel N] [-dot] [-routes]
+//
+// The search runs on -parallel branch-and-bound workers (0 = all CPUs) and
+// can be interrupted with Ctrl-C, which prints the best decomposition
+// found so far.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -46,6 +52,7 @@ func main() {
 	linkBW := flag.Float64("linkbw", 0, "per-link bandwidth capacity in Mbps (0 = unconstrained)")
 	bisection := flag.Float64("bisection", 0, "max bisection bandwidth in Mbps (0 = unconstrained)")
 	timeout := flag.Duration("timeout", 30*time.Second, "search time budget")
+	parallel := flag.Int("parallel", 0, "branch-and-bound workers (0 = all CPUs, 1 = serial)")
 	dot := flag.Bool("dot", false, "print the architecture in Graphviz DOT")
 	routes := flag.Bool("routes", false, "print the full routing table")
 	verilog := flag.Bool("verilog", false, "print a structural Verilog netlist of the architecture")
@@ -83,12 +90,16 @@ func main() {
 		placement = floorplan.Grid(n, w, h, gap)
 	}
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	start := time.Now()
-	res, err := repro.Synthesize(&acg, repro.Options{
-		Mode:      costMode,
-		Placement: placement,
-		Energy:    em,
-		Timeout:   *timeout,
+	res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{
+		Mode:        costMode,
+		Placement:   placement,
+		Energy:      em,
+		Timeout:     *timeout,
+		Parallelism: *parallel,
 		Constraints: repro.Constraints{
 			LinkBandwidthMbps: *linkBW,
 			MaxBisectionMbps:  *bisection,
@@ -96,9 +107,11 @@ func main() {
 	})
 	check(err)
 
-	fmt.Printf("synthesized %q in %.3f s (%d tree nodes, %d pruned, timed out: %v)\n\n",
+	fmt.Printf("synthesized %q in %.3f s (%d workers, %d tree nodes, %d pruned, iso cache %d/%d hits, timed out: %v, interrupted: %v)\n\n",
 		acg.Name(), time.Since(start).Seconds(),
-		res.Stats.NodesExplored, res.Stats.BranchesPruned, res.Stats.TimedOut)
+		res.Stats.Workers, res.Stats.NodesExplored, res.Stats.BranchesPruned,
+		res.Stats.IsoCacheHits, res.Stats.IsoCacheHits+res.Stats.IsoCacheMisses,
+		res.Stats.TimedOut, res.Stats.Canceled)
 	fmt.Print(res.Decomposition.PaperListing())
 	fmt.Printf("\n%s", res.Architecture.Describe())
 	fmt.Printf("virtual channels required: %d\n", res.VCs.NumVCs)

@@ -212,7 +212,30 @@ type Options struct {
 	IsoTimeout time.Duration
 	// DisableBound turns off branch-and-bound pruning (ablation).
 	DisableBound bool
+	// Parallelism sets how many concurrent DFS workers explore the
+	// decomposition tree. The top-level candidate branches are partitioned
+	// across workers that share one atomic incumbent bound; results are
+	// identical at every worker count (ties broken by candRank order).
+	// Zero means GOMAXPROCS; 1 forces the serial search.
+	Parallelism int
+	// DisableIsoCache turns off the memoized VF2 match cache (ablation).
+	// Without the cache every enumerate call re-runs subgraph isomorphism
+	// from scratch.
+	DisableIsoCache bool
+	// IsoCacheEntries caps the match cache size. Zero means
+	// iso.DefaultCacheEntries.
+	IsoCacheEntries int
+	// IsoCacheMinCost sets how expensive an enumeration must have been for
+	// its result to be retained in the match cache. The search tree is
+	// allocation-heavy and the GC re-scans every retained mapping, so
+	// caching the plentiful cheap enumerations costs more in collector
+	// work than the hits save. Zero means the measured default
+	// (DefaultIsoCacheMinCost); negative retains everything.
+	IsoCacheMinCost time.Duration
 }
+
+// DefaultIsoCacheMinCost is the default match-cache retention threshold.
+const DefaultIsoCacheMinCost = time.Millisecond
 
 // DefaultMatchLimit bounds branching per primitive per level. The paper's
 // decomposition tree (Figure 2) branches once per library graph at each
@@ -225,15 +248,34 @@ const DefaultMatchLimit = 1
 // DefaultIsoLimit bounds raw VF2 enumeration per primitive per level.
 const DefaultIsoLimit = 256
 
-// Stats reports search effort.
+// Stats reports search effort, aggregated across all DFS workers.
 type Stats struct {
 	NodesExplored   int
 	MatchingsTried  int
 	BranchesPruned  int
 	LeavesReached   int
 	ConstraintFails int
-	TimedOut        bool
-	Elapsed         time.Duration
+	// TimedOut is set when Options.Timeout (or a context deadline) cut the
+	// search short; Canceled when the context was canceled. In either case
+	// the best decomposition found so far is still returned.
+	TimedOut bool
+	Canceled bool
+	// Workers is the number of DFS workers the search actually used.
+	Workers int
+	// IsoCacheHits / IsoCacheMisses count memoized match-cache lookups;
+	// both are zero when Options.DisableIsoCache is set.
+	IsoCacheHits   int
+	IsoCacheMisses int
+	Elapsed        time.Duration
+}
+
+// add accumulates one worker's counters into the aggregate.
+func (s *Stats) add(o Stats) {
+	s.NodesExplored += o.NodesExplored
+	s.MatchingsTried += o.MatchingsTried
+	s.BranchesPruned += o.BranchesPruned
+	s.LeavesReached += o.LeavesReached
+	s.ConstraintFails += o.ConstraintFails
 }
 
 // Problem bundles one decomposition instance.

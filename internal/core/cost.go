@@ -11,6 +11,17 @@ type coster struct {
 	cachedRatio float64
 }
 
+// newCoster builds a coster with the library's cover-per-link ratio
+// precomputed, so the copies handed to concurrent DFS workers never write
+// to themselves on the hot path.
+func newCoster(p *Problem) coster {
+	c := coster{p: p}
+	if p.Library != nil && p.Library.Len() > 0 {
+		c.maxCoverPerLink()
+	}
+	return c
+}
+
 // linkLength returns the physical length of a link between cores u and v:
 // the Manhattan distance between their centers, or 1 mm without a
 // placement.

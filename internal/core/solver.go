@@ -1,10 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
@@ -25,6 +29,24 @@ var ErrNoLibrary = errors.New("decompose: nil or empty library")
 // On timeout the best decomposition found so far (possibly nil) is
 // returned with Stats.TimedOut set.
 func Solve(p Problem) (Result, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cancellation: the search stops early when the
+// context is done (Stats.Canceled) or its deadline — combined with
+// Options.Timeout, whichever is sooner — expires (Stats.TimedOut), and
+// returns the best decomposition found so far.
+//
+// The search runs on Options.Parallelism concurrent workers. Each worker
+// performs depth-first branch-and-bound over a partition of the top-level
+// candidate subtrees; the incumbent bound is shared atomically so a bound
+// found in one subtree prunes all others. The returned decomposition is
+// identical at every worker count: the incumbent orders complete
+// decompositions by (cost, candRank sequence), a total order independent
+// of discovery timing. (When a timeout or cancellation interrupts the
+// search, the partial result may of course depend on how far each worker
+// got.)
+func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	if p.ACG == nil || p.ACG.NodeCount() == 0 {
 		return Result{}, ErrNoACG
 	}
@@ -37,87 +59,219 @@ func Solve(p Problem) (Result, error) {
 		}
 	}
 
-	s := &solver{
-		p:      p,
-		coster: coster{p: &p},
-		start:  time.Now(),
-	}
+	sh := &shared{p: &p, ctx: ctx, start: time.Now()}
 	if p.Options.Timeout > 0 {
-		s.deadline = s.start.Add(p.Options.Timeout)
+		sh.deadline = sh.start.Add(p.Options.Timeout)
 	}
-	s.matchLimit = p.Options.MatchLimit
-	if s.matchLimit == 0 {
-		s.matchLimit = DefaultMatchLimit
+	if d, ok := ctx.Deadline(); ok && (sh.deadline.IsZero() || d.Before(sh.deadline)) {
+		sh.deadline = d
 	}
-	s.isoLimit = p.Options.IsoLimit
-	if s.isoLimit == 0 {
-		s.isoLimit = DefaultIsoLimit
+	sh.matchLimit = p.Options.MatchLimit
+	if sh.matchLimit == 0 {
+		sh.matchLimit = DefaultMatchLimit
+	}
+	sh.isoLimit = p.Options.IsoLimit
+	if sh.isoLimit == 0 {
+		sh.isoLimit = DefaultIsoLimit
+	}
+	if !p.Options.DisableIsoCache {
+		sh.cache = newMatchCache(p.Options.IsoCacheEntries)
+		sh.cacheMinCost = p.Options.IsoCacheMinCost
+		if sh.cacheMinCost == 0 {
+			sh.cacheMinCost = DefaultIsoCacheMinCost
+		} else if sh.cacheMinCost < 0 {
+			sh.cacheMinCost = 0
+		}
+	}
+	// Figure 3: currentCost = 0; minCost = inf.
+	sh.inc.init()
+
+	// The root node is explored once, here; its candidate expansions become
+	// the work units the workers partition among themselves.
+	root := sh.newWorker()
+	root.stats.NodesExplored++
+	branches := root.collectRootBranches()
+
+	workers := []*worker{root}
+	if root.stopped() {
+		// The deadline expired or the context was canceled during the root
+		// expansion itself: stopped() has latched the flags, and an empty
+		// branch list must not be mistaken for a root leaf.
+	} else if len(branches) == 0 {
+		// No library graph matches the input at all: the root is a leaf and
+		// the whole ACG is the remainder.
+		root.leaf(p.ACG, nil, nil, 0)
+	} else {
+		par := p.Options.Parallelism
+		if par <= 0 {
+			par = runtime.GOMAXPROCS(0)
+		}
+		if par > len(branches) {
+			par = len(branches)
+		}
+		var wg sync.WaitGroup
+		for i := 1; i < par; i++ {
+			w := sh.newWorker()
+			workers = append(workers, w)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w.run(branches)
+			}()
+		}
+		root.run(branches)
+		wg.Wait()
 	}
 
-	// Figure 3: currentCost = 0; minCost = inf.
-	s.bestCost = math.Inf(1)
-	s.dfs(p.ACG, nil, 0, "")
-	s.stats.Elapsed = time.Since(s.start)
-	return Result{Best: s.best, Stats: s.stats}, nil
+	var stats Stats
+	for _, w := range workers {
+		stats.add(w.stats)
+	}
+	stats.Workers = len(workers)
+	stats.TimedOut = sh.timedOut.Load()
+	stats.Canceled = sh.canceled.Load()
+	if sh.cache != nil {
+		stats.IsoCacheHits = int(sh.cache.hits.Load())
+		stats.IsoCacheMisses = int(sh.cache.misses.Load())
+	}
+	stats.Elapsed = time.Since(sh.start)
+	return Result{Best: sh.inc.take(), Stats: stats}, nil
 }
 
-type solver struct {
-	p      Problem
-	coster coster
+// shared is the state all DFS workers of one solve see: the read-only
+// problem, the deadline/cancellation signals, the memoized match cache and
+// the incumbent best decomposition.
+type shared struct {
+	p   *Problem
+	ctx context.Context
 
 	matchLimit int
 	isoLimit   int
 	deadline   time.Time
 	start      time.Time
 
-	best     *Decomposition
-	bestCost float64
-	stats    Stats
+	cache        *matchCache
+	cacheMinCost time.Duration
+	inc          incumbent
+	next         atomic.Int64 // index of the next unclaimed root branch
+
+	stop     atomic.Bool
+	timedOut atomic.Bool
+	canceled atomic.Bool
 }
 
-func (s *solver) timedOut() bool {
-	if s.deadline.IsZero() {
-		return false
-	}
-	if time.Now().After(s.deadline) {
-		s.stats.TimedOut = true
+func (sh *shared) newWorker() *worker {
+	return &worker{sh: sh, coster: newCoster(sh.p)}
+}
+
+// worker runs depth-first branch-and-bound over root branches it claims
+// from the shared counter. Its statistics are local (merged after the
+// search) so the hot path stays free of shared writes.
+type worker struct {
+	sh     *shared
+	coster coster
+	stats  Stats
+}
+
+// stopped reports whether the search should halt, latching the shared stop
+// flag on the first deadline expiry or context cancellation so all workers
+// wind down together.
+func (w *worker) stopped() bool {
+	sh := w.sh
+	if sh.stop.Load() {
 		return true
+	}
+	if !sh.deadline.IsZero() && time.Now().After(sh.deadline) {
+		sh.timedOut.Store(true)
+		sh.stop.Store(true)
+		return true
+	}
+	select {
+	case <-sh.ctx.Done():
+		sh.canceled.Store(true)
+		sh.stop.Store(true)
+		return true
+	default:
 	}
 	return false
 }
 
+// branch is one top-level work unit: a candidate expansion of the root.
+type branch struct {
+	cand candidate
+	rank string
+	sig  graphSig // signature of the ACG minus the branch's covered edges
+}
+
+// collectRootBranches mirrors the expansion step of dfs at the tree root,
+// where minRank is empty so every candidate of every primitive branches.
+func (w *worker) collectRootBranches() []branch {
+	acg := w.sh.p.ACG
+	rootSig := graphSigOf(acg)
+	var out []branch
+	for primIdx, prim := range w.sh.p.Library.Primitives() {
+		if acg.EdgeCount() < prim.Rep.EdgeCount() || acg.NodeCount() < prim.Size {
+			continue
+		}
+		for _, cand := range w.enumerate(primIdx, prim, acg, rootSig) {
+			out = append(out, branch{cand: cand, rank: candRank(primIdx, cand.covered), sig: rootSig.without(cand.covered)})
+		}
+	}
+	return out
+}
+
+// run claims root branches until none remain, exploring each subtree
+// depth-first.
+func (w *worker) run(branches []branch) {
+	for {
+		i := int(w.sh.next.Add(1)) - 1
+		if i >= len(branches) {
+			return
+		}
+		if w.stopped() {
+			return
+		}
+		b := branches[i]
+		w.stats.MatchingsTried++
+		m := b.cand.match
+		m.Depth = 0
+		next := graph.SubtractEdges(w.sh.p.ACG, b.cand.covered)
+		w.dfs(next, b.sig, []Match{m}, []string{b.rank}, m.Cost)
+	}
+}
+
 // dfs explores one decomposition-tree node: remaining is the graph still
-// to cover, matches the path from the root, cost the accumulated match
-// cost.
+// to cover, matches the path from the root, ranks the candRank of each
+// match, cost the accumulated match cost.
 //
 // Because matches in one decomposition are pairwise edge-disjoint, a
 // decomposition is a *set* of matches: every permutation of the same set
 // reaches the same leaf. The search therefore expands matches in canonical
 // rank order (library index, then covered-edge key) — only candidates
-// ranking above the last expanded match (minRank) branch, which eliminates
-// the factorial permutation blow-up without excluding any decomposition.
-// Whether *any* match exists (the paper's leaf condition) is still judged
-// over all candidates, ignoring rank.
-func (s *solver) dfs(remaining *graph.Graph, matches []Match, cost float64, minRank string) {
-	if s.timedOut() {
+// ranking above the last expanded match branch, which eliminates the
+// factorial permutation blow-up without excluding any decomposition.
+func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, ranks []string, cost float64) {
+	if w.stopped() {
 		return
 	}
-	s.stats.NodesExplored++
+	w.stats.NodesExplored++
 
 	// Figure 3 bound: currentCost + minimum remaining cost vs minCost.
-	if !s.p.Options.DisableBound {
-		if cost+s.coster.lowerBound(remaining) >= s.bestCost {
-			s.stats.BranchesPruned++
+	// canBeat also resolves the equal-cost case canonically — the subtree
+	// is kept only if a decomposition extending this rank prefix could
+	// still order before the incumbent — so pruning never depends on which
+	// worker found the incumbent first.
+	if !w.sh.p.Options.DisableBound {
+		if !w.sh.inc.canBeat(cost+w.coster.lowerBound(remaining), ranks) {
+			w.stats.BranchesPruned++
 			return
 		}
 	}
 
-	minPrim := -1
-	if len(minRank) >= 2 {
-		minPrim = int(minRank[0])<<8 | int(minRank[1])
-	}
+	minRank := ranks[len(ranks)-1]
+	minPrim := int(minRank[0])<<8 | int(minRank[1])
 	expanded := false
-	for primIdx, prim := range s.p.Library.Primitives() {
+	for primIdx, prim := range w.sh.p.Library.Primitives() {
 		if remaining.EdgeCount() < prim.Rep.EdgeCount() || remaining.NodeCount() < prim.Size {
 			continue
 		}
@@ -127,9 +281,9 @@ func (s *solver) dfs(remaining *graph.Graph, matches []Match, cost float64, minR
 			// expands it earlier covers that part of the space.
 			continue
 		}
-		cands := s.enumerate(prim, remaining)
+		cands := w.enumerate(primIdx, prim, remaining, sig)
 		for _, cand := range cands {
-			if s.timedOut() {
+			if w.stopped() {
 				return
 			}
 			rank := candRank(primIdx, cand.covered)
@@ -137,29 +291,31 @@ func (s *solver) dfs(remaining *graph.Graph, matches []Match, cost float64, minR
 				continue
 			}
 			expanded = true
-			s.stats.MatchingsTried++
+			w.stats.MatchingsTried++
 			cand.match.Depth = len(matches)
 			next := graph.SubtractEdges(remaining, cand.covered)
-			s.dfs(next, append(matches, cand.match), cost+cand.match.Cost, rank)
+			w.dfs(next, sig.without(cand.covered), append(matches, cand.match), append(ranks, rank), cost+cand.match.Cost)
 		}
 	}
 
 	if expanded {
 		return
 	}
+	w.leaf(remaining, matches, ranks, cost)
+}
 
-	// Leaf: no further matching was expandable here. In the exhaustive
-	// search this coincides with the paper's leaf condition (no library
-	// graph matches the remaining graph, Figure 3: "ndCost = Cost of the
-	// Remaining Graph"). Under the match cap or the canonical-order filter
-	// a node may still have matches elsewhere in rank space; recording the
-	// leaf keeps the search sound — the result remains a legal exact-cover
-	// decomposition, with the un-expanded structure absorbed by the
-	// remainder.
-	s.stats.LeavesReached++
-	rc := s.coster.remainderCost(remaining)
+// leaf handles a node with no expandable matching. In the exhaustive
+// search this coincides with the paper's leaf condition (no library graph
+// matches the remaining graph, Figure 3: "ndCost = Cost of the Remaining
+// Graph"). Under the match cap or the canonical-order filter a node may
+// still have matches elsewhere in rank space; recording the leaf keeps the
+// search sound — the result remains a legal exact-cover decomposition,
+// with the un-expanded structure absorbed by the remainder.
+func (w *worker) leaf(remaining *graph.Graph, matches []Match, ranks []string, cost float64) {
+	w.stats.LeavesReached++
+	rc := w.coster.remainderCost(remaining)
 	total := cost + rc
-	if total >= s.bestCost {
+	if !w.sh.inc.canBeat(total, ranks) {
 		return
 	}
 	d := &Decomposition{
@@ -169,12 +325,90 @@ func (s *solver) dfs(remaining *graph.Graph, matches []Match, cost float64, minR
 		Cost:          total,
 	}
 	d.Remainder.SetName("remainder")
-	if !s.coster.checkConstraints(d) {
-		s.stats.ConstraintFails++
+	if !w.coster.checkConstraints(d) {
+		w.stats.ConstraintFails++
 		return
 	}
-	s.best = d
-	s.bestCost = total
+	w.sh.inc.offer(d, append([]string(nil), ranks...))
+}
+
+// incumbent is the best feasible decomposition found so far, shared by all
+// workers. The cost is mirrored in an atomic word so the hot pruning path
+// avoids the mutex; the mutex guards the (cost, sig, best) triple for the
+// exact equal-cost comparisons.
+//
+// Decompositions are ordered by (cost, rank sequence): lower cost wins,
+// and among equal costs the lexicographically smaller candRank sequence
+// wins (seqLess). This is a strict total order over distinct
+// decompositions — disjoint matches always differ in cover key, so two
+// distinct decompositions differ in their rank sequences — which is what
+// makes the parallel search's result independent of worker count.
+type incumbent struct {
+	bits atomic.Uint64 // Float64bits of the incumbent cost
+
+	mu   sync.RWMutex
+	cost float64
+	sig  []string
+	best *Decomposition
+}
+
+func (in *incumbent) init() {
+	in.cost = math.Inf(1)
+	in.bits.Store(math.Float64bits(in.cost))
+}
+
+// canBeat reports whether a decomposition of the given cost whose rank
+// sequence starts with (or equals) seq could still order before the
+// incumbent. For a leaf, cost and seq are exact; for an internal node,
+// cost is the admissible lower bound and seq the rank prefix — every leaf
+// below the node has cost >= the bound and a rank sequence >= seq, so a
+// false answer soundly prunes the subtree.
+func (in *incumbent) canBeat(cost float64, seq []string) bool {
+	// Lock-free fast path: the atomic mirror only ever decreases, so a
+	// stale read is conservative in both directions.
+	c := math.Float64frombits(in.bits.Load())
+	if cost < c {
+		return true
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if cost != in.cost {
+		return cost < in.cost
+	}
+	return seqLess(seq, in.sig)
+}
+
+// offer installs d as the incumbent if it orders before the current one.
+func (in *incumbent) offer(d *Decomposition, sig []string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if d.Cost > in.cost || (d.Cost == in.cost && !seqLess(sig, in.sig)) {
+		return false
+	}
+	in.cost, in.sig, in.best = d.Cost, sig, d
+	in.bits.Store(math.Float64bits(d.Cost))
+	return true
+}
+
+// take returns the final best decomposition (nil if none was feasible).
+func (in *incumbent) take() *Decomposition {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.best
+}
+
+// seqLess orders rank sequences lexicographically element-wise, with a
+// proper prefix ordering before its extensions.
+func seqLess(a, b []string) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
 }
 
 // candidate pairs a costed match with the ACG edges it covers.
@@ -188,16 +422,32 @@ type candidate struct {
 // matchings that remove the same edges lead to identical subtrees, so only
 // the cheaper embedding can belong to the optimum), ranked by cost, and
 // capped at the match limit.
-func (s *solver) enumerate(prim *primitives.Primitive, remaining *graph.Graph) []candidate {
+//
+// The whole result is memoized in the shared match cache, keyed by
+// primitive index plus the incremental signature of the remaining graph:
+// distinct match orders reconverge on the same remaining graph, and a hit
+// skips not just the VF2 enumeration but the covered-edge extraction,
+// Equation 5 costing and dedup of up to IsoLimit raw mappings. Caching the
+// finished candidate list (at most MatchLimit entries) rather than the raw
+// mapping set keeps the retained memory per entry tiny.
+func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, remaining *graph.Graph, sig graphSig) []candidate {
+	cacheKey := matchKey{prim: primIdx, sig: sig}
+	var missStart time.Time
+	if w.sh.cache != nil {
+		if cands, ok := w.sh.cache.get(cacheKey); ok {
+			return cands
+		}
+		missStart = time.Now()
+	}
 	opts := iso.Options{}
-	if s.isoLimit > 0 {
-		opts.Limit = s.isoLimit
+	if w.sh.isoLimit > 0 {
+		opts.Limit = w.sh.isoLimit
 	}
-	if s.p.Options.IsoTimeout > 0 {
-		opts.Deadline = time.Now().Add(s.p.Options.IsoTimeout)
+	if w.sh.p.Options.IsoTimeout > 0 {
+		opts.Deadline = time.Now().Add(w.sh.p.Options.IsoTimeout)
 	}
-	if !s.deadline.IsZero() && (opts.Deadline.IsZero() || s.deadline.Before(opts.Deadline)) {
-		opts.Deadline = s.deadline
+	if !w.sh.deadline.IsZero() && (opts.Deadline.IsZero() || w.sh.deadline.Before(opts.Deadline)) {
+		opts.Deadline = w.sh.deadline
 	}
 	mappings, err := iso.FindAll(prim.Rep, remaining, opts)
 	if err != nil && len(mappings) == 0 {
@@ -209,7 +459,7 @@ func (s *solver) enumerate(prim *primitives.Primitive, remaining *graph.Graph) [
 	for _, mp := range mappings {
 		m := Match{Primitive: prim, Mapping: mp}
 		covered := m.CoveredEdges()
-		m.Cost = s.coster.matchCost(m)
+		m.Cost = w.coster.matchCost(m)
 		key := coverKey(covered)
 		old, ok := bestByCover[key]
 		if !ok {
@@ -226,10 +476,117 @@ func (s *solver) enumerate(prim *primitives.Primitive, remaining *graph.Graph) [
 	sort.SliceStable(cands, func(i, j int) bool {
 		return cands[i].match.Cost < cands[j].match.Cost
 	})
-	if s.matchLimit > 0 && len(cands) > s.matchLimit {
-		cands = cands[:s.matchLimit]
+	if w.sh.matchLimit > 0 && len(cands) > w.sh.matchLimit {
+		cands = cands[:w.sh.matchLimit]
+	}
+	if w.sh.cache != nil && err == nil && time.Since(missStart) >= w.sh.cacheMinCost {
+		// Retain only results that were genuinely expensive to compute:
+		// the search tree is allocation-heavy, and the GC re-scans every
+		// retained mapping on each cycle, so caching the plentiful cheap
+		// enumerations costs more in collector work than the hits save
+		// (measured; see the match-cache notes in DESIGN.md). err != nil
+		// means a deadline truncated the enumeration: the list is usable
+		// for this node but must not be served as complete later.
+		w.sh.cache.put(cacheKey, cands)
 	}
 	return cands
+}
+
+// graphSig is a 128-bit Zobrist-style signature of a graph's directed edge
+// set: the XOR of a pseudorandom hash per edge. Because XOR is its own
+// inverse, the signature of a child node's remaining graph is derived from
+// the parent's in O(covered edges) — no O(E) canonical serialization per
+// tree node. All remaining graphs within one solve share the ACG's vertex
+// set, so the edge set identifies the graph; 128 bits make an accidental
+// collision (which would silently corrupt the search) vanishingly
+// unlikely even across millions of distinct tree nodes.
+type graphSig struct{ a, b uint64 }
+
+// without returns the signature with the given edges removed (or,
+// symmetrically, added — XOR toggles).
+func (s graphSig) without(edges [][2]graph.NodeID) graphSig {
+	for _, e := range edges {
+		h := edgeSig(e[0], e[1])
+		s.a ^= h.a
+		s.b ^= h.b
+	}
+	return s
+}
+
+// graphSigOf hashes a full edge set, used once per solve for the root.
+func graphSigOf(g *graph.Graph) graphSig {
+	var s graphSig
+	for _, e := range g.Edges() {
+		h := edgeSig(e.From, e.To)
+		s.a ^= h.a
+		s.b ^= h.b
+	}
+	return s
+}
+
+func edgeSig(u, v graph.NodeID) graphSig {
+	x := uint64(uint32(u))<<32 | uint64(uint32(v))
+	return graphSig{splitmix64(x ^ 0x9e3779b97f4a7c15), splitmix64(x ^ 0xc2b2ae3d27d4eb4f)}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator, a strong
+// deterministic 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// matchKey identifies one enumerate query: which primitive against which
+// remaining graph.
+type matchKey struct {
+	prim int
+	sig  graphSig
+}
+
+// matchCache memoizes finished candidate lists across the DFS workers. It
+// is the solver-level counterpart of iso.Cache (which memoizes raw VF2
+// mapping sets): a hit here skips the isomorphism search *and* the match
+// costing pipeline behind it, and the retained values are at most
+// MatchLimit candidates each. Entries beyond the cap are computed and
+// returned but not retained. Safe for concurrent use.
+type matchCache struct {
+	mu      sync.RWMutex
+	entries map[matchKey][]candidate
+	max     int
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+func newMatchCache(maxEntries int) *matchCache {
+	if maxEntries <= 0 {
+		maxEntries = iso.DefaultCacheEntries
+	}
+	return &matchCache{entries: make(map[matchKey][]candidate), max: maxEntries}
+}
+
+// get returns the cached candidate list. The caller must treat the slice
+// and the mappings inside as read-only (candidate values are copied out on
+// range, so setting Depth on the copy is fine).
+func (c *matchCache) get(key matchKey) ([]candidate, bool) {
+	c.mu.RLock()
+	cands, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return cands, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *matchCache) put(key matchKey, cands []candidate) {
+	c.mu.Lock()
+	if _, dup := c.entries[key]; !dup && len(c.entries) < c.max {
+		c.entries[key] = cands
+	}
+	c.mu.Unlock()
 }
 
 // candRank builds the canonical expansion rank of a candidate: library

@@ -1,0 +1,123 @@
+package iso
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// Cache memoizes FindAll results so that repeated matching queries against
+// the same (pattern, target) pair skip the VF2 search entirely. The
+// decomposition search re-enumerates every library primitive at every tree
+// node, and distinct match orders frequently reconverge on the same
+// remaining graph, so the hit rate is high on realistic inputs.
+//
+// Keys are caller-supplied canonical strings (see GraphKey); the cache
+// never compares graphs structurally, so the caller must guarantee that
+// equal keys imply equal (pattern, target, Options.Limit, Options.Induced)
+// queries. Deadline-truncated enumerations are returned but never stored,
+// so a cached entry is always a complete (or limit-capped) result.
+//
+// Cached mapping slices are shared between callers and must be treated as
+// read-only.
+//
+// A Cache is safe for concurrent use by multiple goroutines.
+//
+// Note that the decomposition solver in internal/core does not use this
+// type directly: it memoizes one level higher (finished candidate lists,
+// which also fold in match costing and deduplication) with an incremental
+// Zobrist key, because that retains far less memory per entry. Cache and
+// GraphKey are the general-purpose memoization surface for other FindAll
+// callers.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string][]Mapping
+	max     int
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// DefaultCacheEntries bounds a Cache built with NewCache(0). The entries of
+// deep searches are small (a few mappings over graphs of tens of vertices),
+// so tens of thousands of entries stay in the tens of megabytes.
+const DefaultCacheEntries = 1 << 15
+
+// NewCache returns an empty cache holding at most maxEntries results.
+// maxEntries <= 0 means DefaultCacheEntries. When the cache is full new
+// results are still computed and returned, just not retained.
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		entries: make(map[string][]Mapping),
+		max:     maxEntries,
+	}
+}
+
+// FindAll is a memoizing front for the package-level FindAll. The key must
+// canonically identify (pattern, target, opts.Limit, opts.Induced); use
+// GraphKey for the graph parts.
+func (c *Cache) FindAll(key string, pattern, target *graph.Graph, opts Options) ([]Mapping, error) {
+	c.mu.RLock()
+	ms, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return ms, nil
+	}
+	c.misses.Add(1)
+	ms, err := FindAll(pattern, target, opts)
+	if err != nil {
+		// A deadline cut the enumeration short: the result is usable but
+		// incomplete, so it must not be served to later callers whose
+		// deadlines might have allowed a fuller answer.
+		return ms, err
+	}
+	c.mu.Lock()
+	if _, dup := c.entries[key]; !dup && len(c.entries) < c.max {
+		c.entries[key] = ms
+	}
+	c.mu.Unlock()
+	return ms, nil
+}
+
+// CacheStats reports cache effectiveness.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// GraphKey serializes a graph's vertex and edge structure into a canonical
+// string usable as a cache key component. Two graphs over the same vertex
+// universe produce equal keys iff they have the same vertex set and the
+// same directed edge set; annotations (volume, bandwidth) are ignored
+// because matching is purely structural.
+func GraphKey(g *graph.Graph) string {
+	b := make([]byte, 0, 4+4*g.NodeCount()+8*g.EdgeCount())
+	n := g.NodeCount()
+	b = append(b, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, id := range g.Nodes() {
+		b = appendNodeID(b, id)
+	}
+	for _, e := range g.Edges() {
+		b = appendNodeID(b, e.From)
+		b = appendNodeID(b, e.To)
+	}
+	return string(b)
+}
+
+func appendNodeID(b []byte, id graph.NodeID) []byte {
+	return append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+}

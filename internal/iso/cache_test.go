@@ -1,0 +1,149 @@
+package iso
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func cacheTestGraphs() (pattern, target *graph.Graph) {
+	pattern = graph.New("p")
+	pattern.AddEdge(graph.Edge{From: 1, To: 2})
+	pattern.AddEdge(graph.Edge{From: 2, To: 3})
+	target = graph.CompleteDigraph("t", graph.Range(1, 5), 1, 1)
+	return
+}
+
+func TestCacheHitReturnsSameResult(t *testing.T) {
+	p, tg := cacheTestGraphs()
+	c := NewCache(0)
+	key := "k" + GraphKey(tg)
+	first, err := c.FindAll(key, p, tg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := FindAll(p, tg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 || len(first) != len(direct) {
+		t.Fatalf("cached miss result %d mappings, direct %d", len(first), len(direct))
+	}
+	second, err := c.FindAll(key, p, tg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("hit returned %d mappings, want %d", len(second), len(first))
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheDoesNotStoreDeadlineTruncatedResults(t *testing.T) {
+	p, tg := cacheTestGraphs()
+	c := NewCache(0)
+	key := "k" + GraphKey(tg)
+	// An already-expired deadline aborts the enumeration immediately.
+	_, err := c.FindAll(key, p, tg, Options{Deadline: time.Now().Add(-time.Second)})
+	if err != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("truncated result was cached: %+v", st)
+	}
+	// A later call without the deadline must compute and store the full set.
+	full, err := c.FindAll(key, p, tg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("no mappings after deadline retry")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("full result not cached: %+v", st)
+	}
+}
+
+func TestCacheCapStopsRetainingNotServing(t *testing.T) {
+	p, tg := cacheTestGraphs()
+	c := NewCache(1)
+	if _, err := c.FindAll("a", p, tg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := c.FindAll("b", p, tg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) == 0 {
+		t.Fatal("full cache refused to compute")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want cap of 1", st.Entries)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines over a mix of
+// shared and distinct keys; `go test -race ./internal/iso` is the race
+// gate for the match cache required by the solver's worker pool.
+func TestCacheConcurrent(t *testing.T) {
+	p, tg := cacheTestGraphs()
+	c := NewCache(0)
+	keys := []string{"k0", "k1", "k2", "k3"}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				key := keys[(i+j)%len(keys)]
+				ms, err := c.FindAll(key, p, tg, Options{})
+				if err != nil {
+					t.Errorf("FindAll: %v", err)
+					return
+				}
+				if len(ms) == 0 {
+					t.Error("no mappings")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != len(keys) {
+		t.Fatalf("entries = %d, want %d", st.Entries, len(keys))
+	}
+	if st.Hits+st.Misses != 8*50 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*50)
+	}
+}
+
+func TestGraphKeyDistinguishesStructure(t *testing.T) {
+	a := graph.New("a")
+	a.AddEdge(graph.Edge{From: 1, To: 2})
+	b := graph.New("b")
+	b.AddEdge(graph.Edge{From: 2, To: 1})
+	if GraphKey(a) == GraphKey(b) {
+		t.Fatal("edge direction not reflected in key")
+	}
+	c := a.Clone()
+	if GraphKey(a) != GraphKey(c) {
+		t.Fatal("clone key differs")
+	}
+	c.AddNode(99)
+	if GraphKey(a) == GraphKey(c) {
+		t.Fatal("extra isolated vertex not reflected in key")
+	}
+	// Annotations are structural no-ops for matching and must not split
+	// cache entries.
+	d := graph.New("d")
+	d.AddEdge(graph.Edge{From: 1, To: 2, Volume: 512, Bandwidth: 9})
+	if GraphKey(a) != GraphKey(d) {
+		t.Fatal("annotations leaked into the structural key")
+	}
+}

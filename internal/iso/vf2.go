@@ -180,8 +180,10 @@ func (s *state) search(depth int) error {
 		return ErrDeadline
 	}
 	if !s.opts.Deadline.IsZero() {
+		// Check the clock on the first node (so an already-expired deadline
+		// truncates even trivial searches) and every 1024 nodes after.
 		s.checkTick++
-		if s.checkTick&0x3ff == 0 && time.Now().After(s.opts.Deadline) {
+		if (s.checkTick == 1 || s.checkTick&0x3ff == 0) && time.Now().After(s.opts.Deadline) {
 			s.deadline = true
 			return ErrDeadline
 		}

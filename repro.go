@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 	"math/rand"
@@ -107,6 +108,19 @@ type Options struct {
 	MatchLimit int
 	// DisableBound turns off branch-and-bound pruning (ablation).
 	DisableBound bool
+	// Parallelism sets the number of concurrent branch-and-bound workers
+	// (0 = GOMAXPROCS, 1 = serial). The result is identical at every
+	// worker count.
+	Parallelism int
+	// DisableIsoCache turns off the memoized subgraph-isomorphism cache
+	// (ablation; the cache is on by default).
+	DisableIsoCache bool
+	// IsoCacheEntries caps the match cache size (0 = default).
+	IsoCacheEntries int
+	// IsoCacheMinCost sets how expensive an enumeration must be for its
+	// result to be retained in the match cache (0 = the measured 1 ms
+	// default; negative retains everything).
+	IsoCacheMinCost time.Duration
 }
 
 // Result is the full synthesis output: the decomposition, the glued
@@ -126,6 +140,14 @@ type Result struct {
 // 3), derive the routing tables from the optimal schedules (Section 4.5)
 // and assign virtual channels so the result is deadlock-free.
 func Synthesize(acg *Graph, opts Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), acg, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: the branch-and-bound
+// search stops early when ctx is done or its deadline expires, returning
+// the best feasible decomposition found so far (or an error if none was
+// found in time).
+func SynthesizeContext(ctx context.Context, acg *Graph, opts Options) (*Result, error) {
 	if acg == nil {
 		return nil, fmt.Errorf("repro: nil ACG")
 	}
@@ -137,25 +159,29 @@ func Synthesize(acg *Graph, opts Options) (*Result, error) {
 	if em == (EnergyModel{}) {
 		em = Tech180
 	}
-	res, err := core.Solve(core.Problem{
+	res, err := core.SolveContext(ctx, core.Problem{
 		ACG:         acg,
 		Library:     lib,
 		Placement:   opts.Placement,
 		Energy:      em,
 		Constraints: opts.Constraints,
 		Options: core.Options{
-			Mode:         opts.Mode,
-			Timeout:      opts.Timeout,
-			MatchLimit:   opts.MatchLimit,
-			DisableBound: opts.DisableBound,
+			Mode:            opts.Mode,
+			Timeout:         opts.Timeout,
+			MatchLimit:      opts.MatchLimit,
+			DisableBound:    opts.DisableBound,
+			Parallelism:     opts.Parallelism,
+			DisableIsoCache: opts.DisableIsoCache,
+			IsoCacheEntries: opts.IsoCacheEntries,
+			IsoCacheMinCost: opts.IsoCacheMinCost,
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	if res.Best == nil {
-		return nil, fmt.Errorf("repro: no feasible decomposition (timed out: %v, constraint failures: %d)",
-			res.Stats.TimedOut, res.Stats.ConstraintFails)
+		return nil, fmt.Errorf("repro: no feasible decomposition (timed out: %v, canceled: %v, constraint failures: %d)",
+			res.Stats.TimedOut, res.Stats.Canceled, res.Stats.ConstraintFails)
 	}
 	arch, err := topology.FromDecomposition(acg.Name()+"-custom", acg, res.Best, opts.Placement)
 	if err != nil {
