@@ -17,10 +17,11 @@
 //	experiments -batch          # concurrent scenario sweep -> JSON
 //
 // The batch runner sweeps every synthesis scenario (TGFF task graphs,
-// Pajek-style random graphs, the planted Figure 5 benchmark and the AES
-// ACG in both cost modes) across -workers goroutines, each solve itself
-// using -parallel branch-and-bound workers, and writes one JSON record per
-// scenario to -out (default experiments-batch.json, "-" for stdout).
+// Pajek-style random graphs, scale-free Barabási–Albert graphs, the
+// planted Figure 5 benchmark and the AES ACG in both cost modes) across
+// -workers goroutines, each solve itself using -parallel branch-and-bound
+// workers, and writes one JSON record per scenario to -out (default
+// experiments-batch.json, "-" for stdout).
 package main
 
 import (
@@ -386,7 +387,7 @@ func runTableAES(routingMode string) {
 
 // scenario is one synthesis instance of the batch sweep.
 type scenario struct {
-	Family string `json:"family"` // tgff | pajek | planted | aes
+	Family string `json:"family"` // tgff | pajek | scalefree | planted | aes
 	Nodes  int    `json:"nodes"`
 	Seed   int64  `json:"seed"`
 	Mode   string `json:"mode"` // links | energy
@@ -413,8 +414,8 @@ type batchResult struct {
 }
 
 // batchScenarios assembles the sweep: the Figure 4a TGFF range, the Figure
-// 4b Pajek-style range, the planted Figure 5 benchmark and the AES ACG in
-// both cost modes.
+// 4b Pajek-style range, the scale-free Barabási–Albert family, the planted
+// Figure 5 benchmark and the AES ACG in both cost modes.
 func batchScenarios(seeds, parallel int) []scenario {
 	baseOpts := func(timeout time.Duration) core.Options {
 		return core.Options{
@@ -442,6 +443,21 @@ func batchScenarios(seeds, parallel int) []scenario {
 			opts.IsoTimeout = 2 * time.Second
 			out = append(out, scenario{
 				Family: "pajek", Nodes: n, Seed: int64(s), Mode: "links",
+				acg: acg, opts: opts,
+			})
+		}
+	}
+	// Scale-free (Barabási–Albert) graphs: power-law out-degree hubs, the
+	// complex-network regime of arXiv:0908.0976. Hubs stress the broadcast
+	// primitives far harder than the Erdős–Rényi family above.
+	for _, n := range []int{10, 15, 20, 25, 30} {
+		for s := 0; s < seeds; s++ {
+			acg, err := randgraph.BarabasiAlbert(n, 2, 8, 64, int64(s))
+			check(err)
+			opts := baseOpts(60 * time.Second)
+			opts.IsoTimeout = 2 * time.Second
+			out = append(out, scenario{
+				Family: "scalefree", Nodes: n, Seed: int64(s), Mode: "links",
 				acg: acg, opts: opts,
 			})
 		}

@@ -9,10 +9,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/energy"
@@ -35,6 +38,17 @@ func main() {
 	traceOut := flag.String("traceout", "", "save the generated traffic trace to a JSON file")
 	flag.Parse()
 
+	// Ctrl-C cancels the synthesis search and the simulation gracefully
+	// (parity with nocsynth); a second Ctrl-C kills the process.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	go func() {
+		// Unregister the handler after the first signal so the second
+		// Ctrl-C gets the default (terminating) disposition.
+		<-ctx.Done()
+		cancel()
+	}()
+
 	em, err := energy.ProfileByName(*tech)
 	check(err)
 	cfg := noc.DefaultConfig()
@@ -55,7 +69,7 @@ func main() {
 		check(err)
 		var acg graph.Graph
 		check(json.Unmarshal(data, &acg))
-		res, err := repro.Synthesize(&acg, repro.Options{Timeout: 60 * time.Second})
+		res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{Timeout: 60 * time.Second})
 		check(err)
 		n, err := res.NewNetwork(cfg)
 		check(err)
@@ -81,7 +95,13 @@ func main() {
 		check(noc.WriteTrace(f, trace))
 		check(f.Close())
 	}
-	check(net.Replay(trace, 10_000_000))
+	if err := net.ReplayContext(ctx, trace, 10_000_000); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "nocsim: interrupted, reporting partial statistics")
+		} else {
+			check(err)
+		}
+	}
 
 	st := net.Stats()
 	fmt.Print(st.Describe())

@@ -1,25 +1,72 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/graph"
 )
 
 // coster evaluates Equation 5 match costs, remainder costs and the
 // admissible lower bound against the problem's placement and energy model.
+//
+// When built over a frozen ACG the coster carries, per frozen edge id, the
+// two per-edge constants the search needs at every tree node — the
+// admissible lower-bound energy (volume times the straight-line minimum
+// bit energy) and the remainder energy (volume through one dedicated
+// point-to-point link), precomputed once per solve by edgeCostConstants —
+// so the hot mask-based bound and leaf costing are pure array sums over
+// the live-edge bitmask, with no placement or energy model calls inside
+// the search.
 type coster struct {
 	p           *Problem
 	cachedRatio float64
+
+	facg *graph.Frozen
+	// minEdge[e] / remEdge[e] are the energy-mode per-edge constants; nil
+	// in link mode. nodeScratch is the worker-local active-vertex bitset of
+	// the link-mode lower bound.
+	minEdge     []float64
+	remEdge     []float64
+	nodeScratch []uint64
 }
 
 // newCoster builds a coster with the library's cover-per-link ratio
-// precomputed, so the copies handed to concurrent DFS workers never write
-// to themselves on the hot path.
-func newCoster(p *Problem) coster {
-	c := coster{p: p}
+// precomputed and the per-edge cost constants attached, so the copies
+// handed to concurrent DFS workers never write to themselves on the hot
+// path. minEdge/remEdge are computed once per solve (edgeCostConstants)
+// and shared read-only across workers; nodeScratch is the one mutable
+// member and is per-worker by construction.
+func newCoster(p *Problem, facg *graph.Frozen, minEdge, remEdge []float64) coster {
+	c := coster{p: p, facg: facg, minEdge: minEdge, remEdge: remEdge}
 	if p.Library != nil && p.Library.Len() > 0 {
 		c.maxCoverPerLink()
 	}
+	if facg != nil {
+		c.nodeScratch = make([]uint64, (facg.NodeCount()+63)/64)
+	}
 	return c
+}
+
+// edgeCostConstants precomputes, per frozen edge id, the energy-mode
+// admissible lower bound and remainder cost (both nil in link mode, where
+// the mask popcount suffices).
+func edgeCostConstants(p *Problem, facg *graph.Frozen) (minEdge, remEdge []float64) {
+	if p.Options.Mode != CostEnergy {
+		return nil, nil
+	}
+	c := coster{p: p}
+	e := facg.EdgeCount()
+	minEdge = make([]float64, e)
+	remEdge = make([]float64, e)
+	ids := facg.IDs()
+	for i := 0; i < e; i++ {
+		from, to := facg.EdgeEndpoints(i)
+		u, v := ids[from], ids[to]
+		vol := facg.Volume(i)
+		minEdge[i] = vol * p.Energy.MinBitEnergy(c.straightLine(u, v))
+		remEdge[i] = p.Energy.TransferEnergy(vol, []float64{c.linkLength(u, v)})
+	}
+	return minEdge, remEdge
 }
 
 // linkLength returns the physical length of a link between cores u and v:
@@ -70,10 +117,28 @@ func (c *coster) matchCost(m Match) float64 {
 	return total
 }
 
+// remainderCostMask is remainderCost over the frozen ACG restricted to the
+// live-edge mask — the form the leaf handler uses. In energy mode it sums
+// the precomputed per-edge constants; in link mode it is the popcount.
+func (c *coster) remainderCostMask(mask graph.EdgeMask) float64 {
+	if c.p.Options.Mode == CostLinks {
+		return float64(mask.Count())
+	}
+	var total float64
+	for wi, w := range mask {
+		for w != 0 {
+			total += c.remEdge[wi<<6+bits.TrailingZeros64(w)]
+			w &= w - 1
+		}
+	}
+	return total
+}
+
 // remainderCost prices the remainder graph: each leftover edge becomes a
 // dedicated point-to-point link (two switch traversals, one link at the
 // floorplanned distance in energy mode; one unit per directed edge in link
-// mode).
+// mode). It is the map-graph reference implementation of remainderCostMask,
+// kept for callers and tests outside the mask-based search.
 func (c *coster) remainderCost(r *graph.Graph) float64 {
 	if c.p.Options.Mode == CostLinks {
 		return float64(r.EdgeCount())
@@ -85,12 +150,56 @@ func (c *coster) remainderCost(r *graph.Graph) float64 {
 	return total
 }
 
+// lowerBoundMask is lowerBound over the frozen ACG restricted to the
+// live-edge mask (live is the mask's popcount, tracked incrementally by
+// the search) — the form the hot pruning path uses. Link mode walks the
+// live edges once, marking active endpoints in the worker-local scratch
+// bitset; energy mode sums the precomputed per-edge admissible minima.
+func (c *coster) lowerBoundMask(mask graph.EdgeMask, live int) float64 {
+	if c.p.Options.Mode == CostLinks {
+		for i := range c.nodeScratch {
+			c.nodeScratch[i] = 0
+		}
+		active := 0
+		for wi, w := range mask {
+			for w != 0 {
+				e := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				from, to := c.facg.EdgeEndpoints(e)
+				if c.nodeScratch[from>>6]&(1<<uint(from&63)) == 0 {
+					c.nodeScratch[from>>6] |= 1 << uint(from&63)
+					active++
+				}
+				if c.nodeScratch[to>>6]&(1<<uint(to&63)) == 0 {
+					c.nodeScratch[to>>6] |= 1 << uint(to&63)
+					active++
+				}
+			}
+		}
+		byDegree := float64((active + 1) / 2)
+		byRatio := float64(live) / c.maxCoverPerLink()
+		if byRatio > byDegree {
+			return byRatio
+		}
+		return byDegree
+	}
+	var total float64
+	for wi, w := range mask {
+		for w != 0 {
+			total += c.minEdge[wi<<6+bits.TrailingZeros64(w)]
+			w &= w - 1
+		}
+	}
+	return total
+}
+
 // lowerBound is the "minimum remaining cost" of Figure 3: an admissible
 // estimate of the cheapest possible implementation of the remaining graph.
 // Every remaining edge must move v(e) bits between its endpoint cores
 // through at least two switches and wire no shorter than their straight-
 // line separation, regardless of which primitive (or the remainder) ends
-// up carrying it.
+// up carrying it. It is the map-graph reference implementation of
+// lowerBoundMask, kept for the representation-equivalence tests.
 func (c *coster) lowerBound(r *graph.Graph) float64 {
 	if c.p.Options.Mode == CostLinks {
 		// Two admissible bounds, combined by max. (1) Every vertex that

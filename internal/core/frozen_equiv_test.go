@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+	"repro/internal/primitives"
+	"repro/internal/randgraph"
+)
+
+// The solver must be representation-invariant: pushing the ACG through
+// Freeze().Thaw() (the CSR round trip) must produce a byte-identical
+// decomposition listing, cost and statistics-relevant cover, across seeded
+// random graphs and both worker counts.
+func TestSolverFrozenRoundTripIdentical(t *testing.T) {
+	lib := primitives.MustDefault()
+	for seed := int64(0); seed < 5; seed++ {
+		acg, err := randgraph.ErdosRenyi(10, 0.25, 8, 64, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{1, 4} {
+			opts := Options{Mode: CostLinks, Timeout: 20 * time.Second, Parallelism: par}
+			direct, err := Solve(Problem{ACG: acg, Library: lib, Energy: energy.Tech180, Options: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			thawed, err := Solve(Problem{ACG: acg.Freeze().Thaw(), Library: lib, Energy: energy.Tech180, Options: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (direct.Best == nil) != (thawed.Best == nil) {
+				t.Fatalf("seed %d par %d: feasibility differs", seed, par)
+			}
+			if direct.Best == nil {
+				continue
+			}
+			if direct.Best.Cost != thawed.Best.Cost {
+				t.Fatalf("seed %d par %d: cost %g vs %g", seed, par, direct.Best.Cost, thawed.Best.Cost)
+			}
+			if direct.Best.PaperListing() != thawed.Best.PaperListing() {
+				t.Fatalf("seed %d par %d: listings differ:\n%s\nvs\n%s",
+					seed, par, direct.Best.PaperListing(), thawed.Best.PaperListing())
+			}
+			if err := thawed.Best.CoverIsExact(acg); err != nil {
+				t.Fatalf("seed %d par %d: %v", seed, par, err)
+			}
+		}
+	}
+}
+
+// The mask-based bound and remainder costing must agree exactly with the
+// map-graph reference implementations on random live-edge subsets, in both
+// cost modes.
+func TestMaskCosterMatchesGraphCoster(t *testing.T) {
+	lib := primitives.MustDefault()
+	for _, mode := range []CostMode{CostLinks, CostEnergy} {
+		for seed := int64(0); seed < 8; seed++ {
+			acg, err := randgraph.ErdosRenyi(12, 0.3, 8, 64, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := &Problem{
+				ACG:       acg,
+				Library:   lib,
+				Placement: floorplan.Grid(12, 1, 1, 0.2),
+				Energy:    energy.Tech180,
+				Options:   Options{Mode: mode},
+			}
+			facg := acg.Freeze()
+			minE, remE := edgeCostConstants(p, facg)
+			c := newCoster(p, facg, minE, remE)
+			rng := rand.New(rand.NewSource(seed))
+			mask := graph.FullEdgeMask(facg.EdgeCount())
+			for e := 0; e < facg.EdgeCount(); e++ {
+				if rng.Float64() < 0.5 {
+					mask.Clear(e)
+				}
+			}
+			sub := facg.Materialize(mask)
+			live := mask.Count()
+
+			wantLB := c.lowerBound(sub)
+			gotLB := c.lowerBoundMask(mask, live)
+			if d := wantLB - gotLB; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("mode %v seed %d: lowerBound %g vs mask %g", mode, seed, wantLB, gotLB)
+			}
+			wantRC := c.remainderCost(sub)
+			gotRC := c.remainderCostMask(mask)
+			if d := wantRC - gotRC; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("mode %v seed %d: remainderCost %g vs mask %g", mode, seed, wantRC, gotRC)
+			}
+		}
+	}
+}
+
+// graphSigOfFrozen must equal graphSigOf, and incremental mask updates must
+// track the materialized graph's signature.
+func TestGraphSigFrozenParity(t *testing.T) {
+	acg, err := randgraph.ErdosRenyi(10, 0.3, 8, 64, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facg := acg.Freeze()
+	if graphSigOf(acg) != graphSigOfFrozen(facg) {
+		t.Fatal("root signatures differ between representations")
+	}
+	// Remove a random edge subset; the incremental XOR path must land on
+	// the signature of the materialized remaining graph.
+	rng := rand.New(rand.NewSource(23))
+	mask := graph.FullEdgeMask(facg.EdgeCount())
+	var covered [][2]graph.NodeID
+	for e := 0; e < facg.EdgeCount(); e++ {
+		if rng.Float64() < 0.4 {
+			mask.Clear(e)
+			ed := facg.EdgeAt(e)
+			covered = append(covered, [2]graph.NodeID{ed.From, ed.To})
+		}
+	}
+	inc := graphSigOfFrozen(facg).without(covered)
+	if inc != graphSigOf(facg.Materialize(mask)) {
+		t.Fatal("incremental signature diverges from materialized graph")
+	}
+}
+
+// The AES decomposition must keep its published shape (cost 28: four
+// column gossips, two row loops, four remainder edges) through the
+// CSR-backed search — the end-to-end pin against representation drift.
+func TestSolverFrozenAESShape(t *testing.T) {
+	res, err := Solve(Problem{
+		ACG:     aesACG(8, 1),
+		Library: primitives.MustDefault(),
+		Energy:  energy.Tech180,
+		Options: Options{Mode: CostLinks, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no decomposition")
+	}
+	if res.Best.Cost != 28 {
+		t.Fatalf("AES cost = %g, want 28", res.Best.Cost)
+	}
+	var gossips, loops int
+	for _, m := range res.Best.Matches {
+		switch m.Primitive.Name {
+		case "MGG4":
+			gossips++
+		case "L4":
+			loops++
+		}
+	}
+	if gossips != 4 || loops != 2 || res.Best.Remainder.EdgeCount() != 4 {
+		t.Fatalf("AES shape: %d gossips, %d loops, %d remainder edges",
+			gossips, loops, res.Best.Remainder.EdgeCount())
+	}
+}

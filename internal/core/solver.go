@@ -37,15 +37,19 @@ func Solve(p Problem) (Result, error) {
 // Options.Timeout, whichever is sooner — expires (Stats.TimedOut), and
 // returns the best decomposition found so far.
 //
-// The search runs on Options.Parallelism concurrent workers. Each worker
-// performs depth-first branch-and-bound over a partition of the top-level
-// candidate subtrees; the incumbent bound is shared atomically so a bound
-// found in one subtree prunes all others. The returned decomposition is
-// identical at every worker count: the incumbent orders complete
-// decompositions by (cost, candRank sequence), a total order independent
-// of discovery timing. (When a timeout or cancellation interrupts the
-// search, the partial result may of course depend on how far each worker
-// got.)
+// The search runs on Options.Parallelism concurrent workers. The ACG is
+// frozen once into an immutable CSR (graph.Frozen); each worker performs
+// depth-first branch-and-bound over a partition of the top-level candidate
+// subtrees, carrying only an edge-subset bitmask (graph.EdgeMask) of the
+// live edges instead of mutated graph copies — a tree step is a bitmask
+// clone-and-clear, and the remaining graph is only materialized back into
+// map form at improving leaves. The incumbent bound is shared atomically so
+// a bound found in one subtree prunes all others. The returned
+// decomposition is identical at every worker count: the incumbent orders
+// complete decompositions by (cost, candRank sequence), a total order
+// independent of discovery timing. (When a timeout or cancellation
+// interrupts the search, the partial result may of course depend on how far
+// each worker got.)
 func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	if p.ACG == nil || p.ACG.NodeCount() == 0 {
 		return Result{}, ErrNoACG
@@ -60,6 +64,13 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	}
 
 	sh := &shared{p: &p, ctx: ctx, start: time.Now()}
+	sh.facg = p.ACG.Freeze()
+	sh.fullMask = graph.FullEdgeMask(sh.facg.EdgeCount())
+	sh.minEdge, sh.remEdge = edgeCostConstants(&p, sh.facg)
+	sh.pats = make([]*graph.Frozen, len(p.Library.Primitives()))
+	for i, prim := range p.Library.Primitives() {
+		sh.pats[i] = prim.Rep.Freeze()
+	}
 	if p.Options.Timeout > 0 {
 		sh.deadline = sh.start.Add(p.Options.Timeout)
 	}
@@ -100,7 +111,7 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	} else if len(branches) == 0 {
 		// No library graph matches the input at all: the root is a leaf and
 		// the whole ACG is the remainder.
-		root.leaf(p.ACG, nil, nil, 0)
+		root.leaf(sh.fullMask, nil, nil, 0)
 	} else {
 		par := p.Options.Parallelism
 		if par <= 0 {
@@ -139,11 +150,23 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 }
 
 // shared is the state all DFS workers of one solve see: the read-only
-// problem, the deadline/cancellation signals, the memoized match cache and
-// the incumbent best decomposition.
+// problem, its frozen CSR form, the deadline/cancellation signals, the
+// memoized match cache and the incumbent best decomposition.
 type shared struct {
 	p   *Problem
 	ctx context.Context
+
+	// facg is the ACG frozen once per solve; every remaining graph of the
+	// search is facg plus a live-edge bitmask. fullMask has every edge set;
+	// pats are the library representation graphs frozen once, indexed like
+	// Library.Primitives().
+	facg     *graph.Frozen
+	fullMask graph.EdgeMask
+	pats     []*graph.Frozen
+
+	// minEdge/remEdge are the energy-mode per-edge cost constants, shared
+	// read-only by every worker's coster (nil in link mode).
+	minEdge, remEdge []float64
 
 	matchLimit int
 	isoLimit   int
@@ -161,7 +184,7 @@ type shared struct {
 }
 
 func (sh *shared) newWorker() *worker {
-	return &worker{sh: sh, coster: newCoster(sh.p)}
+	return &worker{sh: sh, coster: newCoster(sh.p, sh.facg, sh.minEdge, sh.remEdge)}
 }
 
 // worker runs depth-first branch-and-bound over root branches it claims
@@ -206,14 +229,16 @@ type branch struct {
 // collectRootBranches mirrors the expansion step of dfs at the tree root,
 // where minRank is empty so every candidate of every primitive branches.
 func (w *worker) collectRootBranches() []branch {
-	acg := w.sh.p.ACG
-	rootSig := graphSigOf(acg)
+	sh := w.sh
+	live := sh.facg.EdgeCount()
+	nodes := sh.facg.NodeCount()
+	rootSig := graphSigOfFrozen(sh.facg)
 	var out []branch
-	for primIdx, prim := range w.sh.p.Library.Primitives() {
-		if acg.EdgeCount() < prim.Rep.EdgeCount() || acg.NodeCount() < prim.Size {
+	for primIdx, prim := range sh.p.Library.Primitives() {
+		if live < prim.Rep.EdgeCount() || nodes < prim.Size {
 			continue
 		}
-		for _, cand := range w.enumerate(primIdx, prim, acg, rootSig) {
+		for _, cand := range w.enumerate(primIdx, prim, sh.fullMask, rootSig) {
 			out = append(out, branch{cand: cand, rank: candRank(primIdx, cand.covered), sig: rootSig.without(cand.covered)})
 		}
 	}
@@ -235,14 +260,14 @@ func (w *worker) run(branches []branch) {
 		w.stats.MatchingsTried++
 		m := b.cand.match
 		m.Depth = 0
-		next := graph.SubtractEdges(w.sh.p.ACG, b.cand.covered)
-		w.dfs(next, b.sig, []Match{m}, []string{b.rank}, m.Cost)
+		mask := w.sh.fullMask.Without(b.cand.coveredIDs)
+		w.dfs(mask, w.sh.facg.EdgeCount()-len(b.cand.coveredIDs), b.sig, []Match{m}, []string{b.rank}, m.Cost)
 	}
 }
 
-// dfs explores one decomposition-tree node: remaining is the graph still
-// to cover, matches the path from the root, ranks the candRank of each
-// match, cost the accumulated match cost.
+// dfs explores one decomposition-tree node: mask selects the live edges of
+// the graph still to cover (live is their count), matches the path from the
+// root, ranks the candRank of each match, cost the accumulated match cost.
 //
 // Because matches in one decomposition are pairwise edge-disjoint, a
 // decomposition is a *set* of matches: every permutation of the same set
@@ -250,7 +275,7 @@ func (w *worker) run(branches []branch) {
 // rank order (library index, then covered-edge key) — only candidates
 // ranking above the last expanded match branch, which eliminates the
 // factorial permutation blow-up without excluding any decomposition.
-func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, ranks []string, cost float64) {
+func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Match, ranks []string, cost float64) {
 	if w.stopped() {
 		return
 	}
@@ -262,17 +287,18 @@ func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, rank
 	// still order before the incumbent — so pruning never depends on which
 	// worker found the incumbent first.
 	if !w.sh.p.Options.DisableBound {
-		if !w.sh.inc.canBeat(cost+w.coster.lowerBound(remaining), ranks) {
+		if !w.sh.inc.canBeat(cost+w.coster.lowerBoundMask(mask, live), ranks) {
 			w.stats.BranchesPruned++
 			return
 		}
 	}
 
+	nodes := w.sh.facg.NodeCount()
 	minRank := ranks[len(ranks)-1]
 	minPrim := int(minRank[0])<<8 | int(minRank[1])
 	expanded := false
 	for primIdx, prim := range w.sh.p.Library.Primitives() {
-		if remaining.EdgeCount() < prim.Rep.EdgeCount() || remaining.NodeCount() < prim.Size {
+		if live < prim.Rep.EdgeCount() || nodes < prim.Size {
 			continue
 		}
 		if primIdx < minPrim {
@@ -281,7 +307,7 @@ func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, rank
 			// expands it earlier covers that part of the space.
 			continue
 		}
-		cands := w.enumerate(primIdx, prim, remaining, sig)
+		cands := w.enumerate(primIdx, prim, mask, sig)
 		for _, cand := range cands {
 			if w.stopped() {
 				return
@@ -293,15 +319,15 @@ func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, rank
 			expanded = true
 			w.stats.MatchingsTried++
 			cand.match.Depth = len(matches)
-			next := graph.SubtractEdges(remaining, cand.covered)
-			w.dfs(next, sig.without(cand.covered), append(matches, cand.match), append(ranks, rank), cost+cand.match.Cost)
+			next := mask.Without(cand.coveredIDs)
+			w.dfs(next, live-len(cand.coveredIDs), sig.without(cand.covered), append(matches, cand.match), append(ranks, rank), cost+cand.match.Cost)
 		}
 	}
 
 	if expanded {
 		return
 	}
-	w.leaf(remaining, matches, ranks, cost)
+	w.leaf(mask, matches, ranks, cost)
 }
 
 // leaf handles a node with no expandable matching. In the exhaustive
@@ -311,16 +337,19 @@ func (w *worker) dfs(remaining *graph.Graph, sig graphSig, matches []Match, rank
 // still have matches elsewhere in rank space; recording the leaf keeps the
 // search sound — the result remains a legal exact-cover decomposition,
 // with the un-expanded structure absorbed by the remainder.
-func (w *worker) leaf(remaining *graph.Graph, matches []Match, ranks []string, cost float64) {
+//
+// The remaining graph is materialized from the bitmask only here, and only
+// after the incumbent check: interior tree nodes never rebuild map graphs.
+func (w *worker) leaf(mask graph.EdgeMask, matches []Match, ranks []string, cost float64) {
 	w.stats.LeavesReached++
-	rc := w.coster.remainderCost(remaining)
+	rc := w.coster.remainderCostMask(mask)
 	total := cost + rc
 	if !w.sh.inc.canBeat(total, ranks) {
 		return
 	}
 	d := &Decomposition{
 		Matches:       append([]Match(nil), matches...),
-		Remainder:     remaining.Clone(),
+		Remainder:     w.sh.facg.Materialize(mask),
 		RemainderCost: rc,
 		Cost:          total,
 	}
@@ -411,17 +440,20 @@ func seqLess(a, b []string) bool {
 	return len(a) < len(b)
 }
 
-// candidate pairs a costed match with the ACG edges it covers.
+// candidate pairs a costed match with the ACG edges it covers, both as
+// (From, To) NodeID pairs (for the canonical rank key) and as frozen edge
+// ids (for the bitmask update).
 type candidate struct {
-	match   Match
-	covered [][2]graph.NodeID
+	match      Match
+	covered    [][2]graph.NodeID
+	coveredIDs []int32
 }
 
-// enumerate lists the matchings of one primitive in the remaining graph,
-// deduplicated by covered edge set (keeping the cheapest mapping — two
-// matchings that remove the same edges lead to identical subtrees, so only
-// the cheaper embedding can belong to the optimum), ranked by cost, and
-// capped at the match limit.
+// enumerate lists the matchings of one primitive in the remaining graph
+// (the frozen ACG restricted to mask), deduplicated by covered edge set
+// (keeping the cheapest mapping — two matchings that remove the same edges
+// lead to identical subtrees, so only the cheaper embedding can belong to
+// the optimum), ranked by cost, and capped at the match limit.
 //
 // The whole result is memoized in the shared match cache, keyed by
 // primitive index plus the incremental signature of the remaining graph:
@@ -430,7 +462,7 @@ type candidate struct {
 // Equation 5 costing and dedup of up to IsoLimit raw mappings. Caching the
 // finished candidate list (at most MatchLimit entries) rather than the raw
 // mapping set keeps the retained memory per entry tiny.
-func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, remaining *graph.Graph, sig graphSig) []candidate {
+func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, mask graph.EdgeMask, sig graphSig) []candidate {
 	cacheKey := matchKey{prim: primIdx, sig: sig}
 	var missStart time.Time
 	if w.sh.cache != nil {
@@ -449,7 +481,7 @@ func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, remaining *g
 	if !w.sh.deadline.IsZero() && (opts.Deadline.IsZero() || w.sh.deadline.Before(opts.Deadline)) {
 		opts.Deadline = w.sh.deadline
 	}
-	mappings, err := iso.FindAll(prim.Rep, remaining, opts)
+	mappings, err := iso.FindAllFrozen(w.sh.pats[primIdx], w.sh.facg, mask, opts)
 	if err != nil && len(mappings) == 0 {
 		return nil
 	}
@@ -479,6 +511,11 @@ func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, remaining *g
 	if w.sh.matchLimit > 0 && len(cands) > w.sh.matchLimit {
 		cands = cands[:w.sh.matchLimit]
 	}
+	// Translate cover keys to frozen edge ids only for the candidates
+	// that survived the cap.
+	for i := range cands {
+		cands[i].coveredIDs = w.coveredEdgeIDs(cands[i].covered)
+	}
 	if w.sh.cache != nil && err == nil && time.Since(missStart) >= w.sh.cacheMinCost {
 		// Retain only results that were genuinely expensive to compute:
 		// the search tree is allocation-heavy, and the GC re-scans every
@@ -490,6 +527,23 @@ func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, remaining *g
 		w.sh.cache.put(cacheKey, cands)
 	}
 	return cands
+}
+
+// coveredEdgeIDs translates covered (From, To) NodeID pairs into frozen
+// edge ids of the root ACG.
+func (w *worker) coveredEdgeIDs(covered [][2]graph.NodeID) []int32 {
+	ids := make([]int32, len(covered))
+	for i, k := range covered {
+		u, _ := w.sh.facg.IndexOf(k[0])
+		v, _ := w.sh.facg.IndexOf(k[1])
+		e, ok := w.sh.facg.EdgeIndexBetween(u, v)
+		if !ok {
+			// A match can only cover edges of the graph it was found in.
+			panic(fmt.Sprintf("decompose: covered edge %d->%d not in ACG", k[0], k[1]))
+		}
+		ids[i] = int32(e)
+	}
+	return ids
 }
 
 // graphSig is a 128-bit Zobrist-style signature of a graph's directed edge
@@ -513,11 +567,26 @@ func (s graphSig) without(edges [][2]graph.NodeID) graphSig {
 	return s
 }
 
-// graphSigOf hashes a full edge set, used once per solve for the root.
+// graphSigOf hashes a full edge set, used by tests and map-graph callers.
 func graphSigOf(g *graph.Graph) graphSig {
 	var s graphSig
 	for _, e := range g.Edges() {
 		h := edgeSig(e.From, e.To)
+		s.a ^= h.a
+		s.b ^= h.b
+	}
+	return s
+}
+
+// graphSigOfFrozen hashes a frozen graph's edge set straight from the CSR
+// arrays, used once per solve for the root. Identical to graphSigOf on the
+// thawed graph.
+func graphSigOfFrozen(f *graph.Frozen) graphSig {
+	var s graphSig
+	ids := f.IDs()
+	for e := 0; e < f.EdgeCount(); e++ {
+		from, to := f.EdgeEndpoints(e)
+		h := edgeSig(ids[from], ids[to])
 		s.a ^= h.a
 		s.b ^= h.b
 	}

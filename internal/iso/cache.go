@@ -118,6 +118,26 @@ func GraphKey(g *graph.Graph) string {
 	return string(b)
 }
 
+// FrozenKey is GraphKey computed from a Frozen's dense arrays, with no map
+// walks or sorting: the CSR stores vertices and edges in canonical order
+// already. FrozenKey(g.Freeze()) == GraphKey(g) for every graph g.
+func FrozenKey(f *graph.Frozen) string {
+	n := f.NodeCount()
+	e := f.EdgeCount()
+	b := make([]byte, 0, 4+4*n+8*e)
+	b = append(b, byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	for _, id := range f.IDs() {
+		b = appendNodeID(b, id)
+	}
+	ids := f.IDs()
+	for i := 0; i < e; i++ {
+		from, to := f.EdgeEndpoints(i)
+		b = appendNodeID(b, ids[from])
+		b = appendNodeID(b, ids[to])
+	}
+	return string(b)
+}
+
 func appendNodeID(b []byte, id graph.NodeID) []byte {
 	return append(b, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
 }

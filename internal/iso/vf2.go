@@ -13,6 +13,13 @@
 // result cap and a deadline (the paper notes run time explodes when no
 // isomorphism exists and suggests a time-out, Section 5.1), and prunes with
 // VF2's one-look-ahead feasibility rules plus a degree pre-filter.
+//
+// The search state lives entirely in dense index space over graph.Frozen
+// CSR views: adjacency rows are read as zero-copy subslices, target-edge
+// membership is a flat bitset, and the solver's edge-subset bitmask
+// (graph.EdgeMask) restricts the target without materializing a subtracted
+// graph. FindAll remains the map-graph convenience front; FindAllFrozen is
+// the hot-path entry the decomposition solver uses.
 package iso
 
 import (
@@ -83,9 +90,19 @@ func FindFirst(pattern, target *graph.Graph) (Mapping, bool) {
 
 // FindAll enumerates subgraph monomorphisms from pattern into target, up to
 // opts.Limit. The error is ErrDeadline if the deadline cut the enumeration
-// short, nil otherwise.
+// short, nil otherwise. It freezes both graphs and delegates to
+// FindAllFrozen; callers issuing many queries against the same graphs
+// should freeze once themselves.
 func FindAll(pattern, target *graph.Graph, opts Options) ([]Mapping, error) {
-	s := newState(pattern, target, opts)
+	return FindAllFrozen(pattern.Freeze(), target.Freeze(), nil, opts)
+}
+
+// FindAllFrozen enumerates subgraph monomorphisms from the frozen pattern
+// into the frozen target restricted to the edges set in mask (nil means
+// every edge). Enumeration order is identical to FindAll on the equivalent
+// map graphs: dense indices ascend by NodeID in both representations.
+func FindAllFrozen(pattern, target *graph.Frozen, mask graph.EdgeMask, opts Options) ([]Mapping, error) {
+	s := newState(pattern, target, mask, opts)
 	if !s.plausible() {
 		return nil, nil
 	}
@@ -94,65 +111,123 @@ func FindAll(pattern, target *graph.Graph, opts Options) ([]Mapping, error) {
 }
 
 // state carries the VF2 search state in dense index space. Pattern and
-// target vertices are renumbered 0..n-1; core arrays hold the partial
-// mapping; terminal-set membership depths (tin/tout) implement the VF2
-// look-ahead sets.
+// target adjacency rows alias the Frozen CSR storage (or, under a mask,
+// filtered copies packed into one flat backing array); core arrays hold the
+// partial mapping; terminal-set membership depths (tin/tout) implement the
+// VF2 look-ahead sets; tAdjOut/tAdjIn are flat bitsets for O(1) target edge
+// membership.
 type state struct {
 	opts Options
 
 	pn, tn int // vertex counts
 
-	pID, tID []graph.NodeID       // dense index -> original id
-	pIdx     map[graph.NodeID]int // original id -> dense index
-	tIdx     map[graph.NodeID]int
+	pID, tID []graph.NodeID // dense index -> original id
 
-	pOut, pIn [][]int // pattern adjacency (dense)
-	tOut, tIn [][]int // target adjacency (dense)
+	pOut, pIn [][]int32 // pattern adjacency (dense)
+	tOut, tIn [][]int32 // target adjacency (dense, mask-filtered)
 
-	tOutSet, tInSet []map[int]struct{} // target adjacency as sets
+	pEdges, tEdges int
 
-	core1 []int // pattern -> target (-1 unmapped)
-	core2 []int // target -> pattern (-1 unmapped)
+	tw              int      // bitset row width in words
+	tAdjOut, tAdjIn []uint64 // target adjacency bitsets, row per vertex
+
+	core1 []int32 // pattern -> target (-1 unmapped)
+	core2 []int32 // target -> pattern (-1 unmapped)
 
 	// Terminal depths: nonzero means the vertex entered the respective
 	// terminal set at that search depth.
-	out1, in1 []int
-	out2, in2 []int
+	out1, in1 []int32
+	out2, in2 []int32
 
-	order []int // pattern vertex visit order (connectivity-first)
+	order []int32 // pattern vertex visit order (connectivity-first)
 
 	results   []Mapping
 	checkTick int
 	deadline  bool
 }
 
-func newState(p, t *graph.Graph, opts Options) *state {
+func newState(p, t *graph.Frozen, mask graph.EdgeMask, opts Options) *state {
 	s := &state{opts: opts}
 	s.pn, s.tn = p.NodeCount(), t.NodeCount()
-	s.pID, s.pIdx, s.pOut, s.pIn = denseAdj(p)
-	s.tID, s.tIdx, s.tOut, s.tIn = denseAdj(t)
+	s.pID, s.tID = p.IDs(), t.IDs()
+	s.pEdges = p.EdgeCount()
 
-	s.tOutSet = make([]map[int]struct{}, s.tn)
-	s.tInSet = make([]map[int]struct{}, s.tn)
-	for i := 0; i < s.tn; i++ {
-		s.tOutSet[i] = make(map[int]struct{}, len(s.tOut[i]))
-		for _, j := range s.tOut[i] {
-			s.tOutSet[i][j] = struct{}{}
+	s.pOut = make([][]int32, s.pn)
+	s.pIn = make([][]int32, s.pn)
+	for i := 0; i < s.pn; i++ {
+		s.pOut[i] = p.Out(i)
+		s.pIn[i] = p.In(i)
+	}
+
+	s.tOut = make([][]int32, s.tn)
+	s.tIn = make([][]int32, s.tn)
+	if mask == nil {
+		for i := 0; i < s.tn; i++ {
+			s.tOut[i] = t.Out(i)
+			s.tIn[i] = t.In(i)
 		}
-		s.tInSet[i] = make(map[int]struct{}, len(s.tIn[i]))
-		for _, j := range s.tIn[i] {
-			s.tInSet[i][j] = struct{}{}
+		s.tEdges = t.EdgeCount()
+	} else {
+		// Pack the mask-filtered rows into two flat backing arrays. The
+		// capacity covers every edge, so the append never reallocates and
+		// the row subslices stay valid.
+		outFlat := make([]int32, 0, t.EdgeCount())
+		inFlat := make([]int32, 0, t.EdgeCount())
+		for i := 0; i < s.tn; i++ {
+			e := t.OutEdgeStart(i)
+			lo := len(outFlat)
+			for _, v := range t.Out(i) {
+				if mask.Has(e) {
+					outFlat = append(outFlat, v)
+				}
+				e++
+			}
+			s.tOut[i] = outFlat[lo:len(outFlat):len(outFlat)]
+		}
+		for i := 0; i < s.tn; i++ {
+			eids := t.InEdgeIDs(i)
+			lo := len(inFlat)
+			for k, v := range t.In(i) {
+				if mask.Has(int(eids[k])) {
+					inFlat = append(inFlat, v)
+				}
+			}
+			s.tIn[i] = inFlat[lo:len(inFlat):len(inFlat)]
+		}
+		s.tEdges = len(outFlat)
+	}
+
+	s.tw = (s.tn + 63) / 64
+	s.tAdjOut = make([]uint64, s.tn*s.tw)
+	s.tAdjIn = make([]uint64, s.tn*s.tw)
+	for i := 0; i < s.tn; i++ {
+		row := i * s.tw
+		for _, v := range s.tOut[i] {
+			s.tAdjOut[row+int(v>>6)] |= 1 << uint(v&63)
+		}
+		for _, v := range s.tIn[i] {
+			s.tAdjIn[row+int(v>>6)] |= 1 << uint(v&63)
 		}
 	}
 
 	s.core1 = fill(s.pn, -1)
 	s.core2 = fill(s.tn, -1)
-	s.out1 = make([]int, s.pn)
-	s.in1 = make([]int, s.pn)
-	s.out2 = make([]int, s.tn)
-	s.in2 = make([]int, s.tn)
+	s.out1 = make([]int32, s.pn)
+	s.in1 = make([]int32, s.pn)
+	s.out2 = make([]int32, s.tn)
+	s.in2 = make([]int32, s.tn)
 	s.order = connectivityOrder(s.pn, s.pOut, s.pIn)
 	return s
+}
+
+// hasOutEdge reports whether the target edge ti->tt survives the mask.
+func (s *state) hasOutEdge(ti, tt int32) bool {
+	return s.tAdjOut[int(ti)*s.tw+int(tt>>6)]&(1<<uint(tt&63)) != 0
+}
+
+// hasInEdge reports whether the target edge tt->ti survives the mask.
+func (s *state) hasInEdge(ti, tt int32) bool {
+	return s.tAdjIn[int(ti)*s.tw+int(tt>>6)]&(1<<uint(tt&63)) != 0
 }
 
 // plausible applies cheap global pre-filters before the search starts.
@@ -163,14 +238,7 @@ func (s *state) plausible() bool {
 	if s.pn > s.tn {
 		return false
 	}
-	pe, te := 0, 0
-	for i := range s.pOut {
-		pe += len(s.pOut[i])
-	}
-	for i := range s.tOut {
-		te += len(s.tOut[i])
-	}
-	return pe <= te
+	return s.pEdges <= s.tEdges
 }
 
 // search tries to extend the partial mapping at the given depth (number of
@@ -198,16 +266,16 @@ func (s *state) search(depth int) error {
 	}
 
 	pi := s.order[depth]
-	for _, ti := range s.candidates(pi, depth) {
-		if !s.feasible(pi, ti, depth) {
+	for _, ti := range s.candidates(pi) {
+		if !s.feasible(pi, ti) {
 			continue
 		}
-		s.addPair(pi, ti, depth+1)
+		s.addPair(pi, ti, int32(depth+1))
 		if err := s.search(depth + 1); err != nil {
-			s.removePair(pi, ti, depth+1)
+			s.removePair(pi, ti, int32(depth+1))
 			return err
 		}
-		s.removePair(pi, ti, depth+1)
+		s.removePair(pi, ti, int32(depth+1))
 		if s.opts.Limit > 0 && len(s.results) >= s.opts.Limit {
 			return nil
 		}
@@ -218,7 +286,7 @@ func (s *state) search(depth int) error {
 // candidates returns the target vertices to try for pattern vertex pi, in
 // ascending original-id order for determinism. If pi has a mapped neighbor
 // the candidates are restricted to the corresponding target neighborhood.
-func (s *state) candidates(pi, depth int) []int {
+func (s *state) candidates(pi int32) []int32 {
 	// Prefer anchoring through an already-mapped pattern predecessor or
 	// successor: candidates are then the target neighbors of its image.
 	for _, pp := range s.pIn[pi] {
@@ -233,8 +301,8 @@ func (s *state) candidates(pi, depth int) []int {
 	}
 	// No mapped neighbor (first vertex of a component): all unmapped
 	// target vertices.
-	out := make([]int, 0, s.tn)
-	for ti := 0; ti < s.tn; ti++ {
+	out := make([]int32, 0, s.tn)
+	for ti := int32(0); ti < int32(s.tn); ti++ {
 		if s.core2[ti] < 0 {
 			out = append(out, ti)
 		}
@@ -244,7 +312,7 @@ func (s *state) candidates(pi, depth int) []int {
 
 // feasible applies the VF2 syntactic feasibility rules for the candidate
 // pair (pi, ti).
-func (s *state) feasible(pi, ti, depth int) bool {
+func (s *state) feasible(pi, ti int32) bool {
 	// Degree filter: target vertex must offer at least the pattern degrees.
 	if len(s.tOut[ti]) < len(s.pOut[pi]) || len(s.tIn[ti]) < len(s.pIn[pi]) {
 		return false
@@ -254,14 +322,14 @@ func (s *state) feasible(pi, ti, depth int) bool {
 	// edges (monomorphism direction).
 	for _, pp := range s.pIn[pi] {
 		if tt := s.core1[pp]; tt >= 0 {
-			if _, ok := s.tInSet[ti][tt]; !ok {
+			if !s.hasInEdge(ti, tt) {
 				return false
 			}
 		}
 	}
 	for _, pp := range s.pOut[pi] {
 		if tt := s.core1[pp]; tt >= 0 {
-			if _, ok := s.tOutSet[ti][tt]; !ok {
+			if !s.hasOutEdge(ti, tt) {
 				return false
 			}
 		}
@@ -269,14 +337,14 @@ func (s *state) feasible(pi, ti, depth int) bool {
 	if s.opts.Induced {
 		// Reverse direction: mapped target neighbors of ti must be edges in
 		// the pattern too.
-		for tt := range s.tInSet[ti] {
+		for _, tt := range s.tIn[ti] {
 			if pp := s.core2[tt]; pp >= 0 {
 				if !contains(s.pIn[pi], pp) {
 					return false
 				}
 			}
 		}
-		for tt := range s.tOutSet[ti] {
+		for _, tt := range s.tOut[ti] {
 			if pp := s.core2[tt]; pp >= 0 {
 				if !contains(s.pOut[pi], pp) {
 					return false
@@ -308,7 +376,7 @@ func (s *state) feasible(pi, ti, depth int) bool {
 		}
 	}
 	var tTermOut, tTermIn, tNew int
-	for tt := range s.tOutSet[ti] {
+	for _, tt := range s.tOut[ti] {
 		switch {
 		case s.core2[tt] >= 0:
 		case s.out2[tt] > 0 || s.in2[tt] > 0:
@@ -317,7 +385,7 @@ func (s *state) feasible(pi, ti, depth int) bool {
 			tNew++
 		}
 	}
-	for tt := range s.tInSet[ti] {
+	for _, tt := range s.tIn[ti] {
 		switch {
 		case s.core2[tt] >= 0:
 		case s.out2[tt] > 0 || s.in2[tt] > 0:
@@ -329,7 +397,7 @@ func (s *state) feasible(pi, ti, depth int) bool {
 	return tTermOut >= pTermOut && tTermIn >= pTermIn && tTermOut+tTermIn+tNew >= pTermOut+pTermIn+pNew
 }
 
-func (s *state) addPair(pi, ti, depth int) {
+func (s *state) addPair(pi, ti, depth int32) {
 	s.core1[pi] = ti
 	s.core2[ti] = pi
 	for _, pp := range s.pOut[pi] {
@@ -354,7 +422,7 @@ func (s *state) addPair(pi, ti, depth int) {
 	}
 }
 
-func (s *state) removePair(pi, ti, depth int) {
+func (s *state) removePair(pi, ti, depth int32) {
 	for _, pp := range s.pOut[pi] {
 		if s.out1[pp] == depth {
 			s.out1[pp] = 0
@@ -383,31 +451,34 @@ func (s *state) removePair(pi, ti, depth int) {
 // first within a component has at least one previously-visited neighbor,
 // maximizing anchoring. Components are entered at their highest-degree
 // vertex; ties break toward lower dense index.
-func connectivityOrder(n int, out, in [][]int) []int {
+func connectivityOrder(n int, out, in [][]int32) []int32 {
 	deg := make([]int, n)
 	for i := 0; i < n; i++ {
 		deg[i] = len(out[i]) + len(in[i])
 	}
 	visited := make([]bool, n)
-	order := make([]int, 0, n)
-	adj := func(i int) []int {
-		ns := append(append([]int{}, out[i]...), in[i]...)
-		sort.Ints(ns)
-		return ns
-	}
+	order := make([]int32, 0, n)
 	for len(order) < n {
 		// Pick the unvisited vertex with a visited neighbor, preferring
 		// high degree; otherwise the highest-degree unvisited vertex.
-		best, bestScore := -1, -1
-		for i := 0; i < n; i++ {
+		best, bestScore := int32(-1), -1
+		for i := int32(0); i < int32(n); i++ {
 			if visited[i] {
 				continue
 			}
 			anchored := 0
-			for _, j := range adj(i) {
+			for _, j := range out[i] {
 				if visited[j] {
 					anchored = 1
 					break
+				}
+			}
+			if anchored == 0 {
+				for _, j := range in[i] {
+					if visited[j] {
+						anchored = 1
+						break
+					}
 				}
 			}
 			score := anchored*1000 + deg[i]
@@ -421,27 +492,8 @@ func connectivityOrder(n int, out, in [][]int) []int {
 	return order
 }
 
-func denseAdj(g *graph.Graph) ([]graph.NodeID, map[graph.NodeID]int, [][]int, [][]int) {
-	ids := g.Nodes()
-	idx := make(map[graph.NodeID]int, len(ids))
-	for i, id := range ids {
-		idx[id] = i
-	}
-	out := make([][]int, len(ids))
-	in := make([][]int, len(ids))
-	for i, id := range ids {
-		for _, m := range g.OutNeighbors(id) {
-			out[i] = append(out[i], idx[m])
-		}
-		for _, m := range g.InNeighbors(id) {
-			in[i] = append(in[i], idx[m])
-		}
-	}
-	return ids, idx, out, in
-}
-
-func filterUnmapped(cands []int, core2 []int) []int {
-	out := make([]int, 0, len(cands))
+func filterUnmapped(cands []int32, core2 []int32) []int32 {
+	out := make([]int32, 0, len(cands))
 	for _, c := range cands {
 		if core2[c] < 0 {
 			out = append(out, c)
@@ -450,15 +502,15 @@ func filterUnmapped(cands []int, core2 []int) []int {
 	return out
 }
 
-func fill(n, v int) []int {
-	s := make([]int, n)
+func fill(n int, v int32) []int32 {
+	s := make([]int32, n)
 	for i := range s {
 		s[i] = v
 	}
 	return s
 }
 
-func contains(s []int, v int) bool {
+func contains(s []int32, v int32) bool {
 	for _, x := range s {
 		if x == v {
 			return true

@@ -23,11 +23,17 @@
 //     serialization); wormhole: an output locks to one packet from head to
 //     tail. Credits return to the upstream router when a flit leaves an
 //     input buffer.
+//
+// The router and link wiring is built once from a frozen CSR view
+// (graph.Frozen) of the architecture graph: routers live in a slice
+// indexed by dense node index, ports in slices indexed by neighbor slot,
+// and every packet's route is resolved to indices and output slots at
+// injection — the per-cycle loops perform no map lookups, no sorting and
+// no string formatting.
 package noc
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -85,8 +91,15 @@ type Packet struct {
 	InjectCycle int64
 	EjectCycle  int64
 
-	route    []graph.NodeID
-	vcs      []int // virtual channel at each route position
+	route []graph.NodeID
+	vcs   []int // virtual channel at each route position
+
+	// outSlot[h] is the output-port slot a flit occupying route[h]
+	// requests (the slot of route[h+1] at route[h]'s router, or the local
+	// ejection slot at the destination), resolved once at injection so
+	// the per-cycle path is pure array indexing.
+	outSlot []int32
+
 	flits    int
 	injected int // flits handed to the local input port so far
 }
@@ -121,16 +134,32 @@ func (n *Network) vcOf(f flit) int {
 // inputPort is one router ingress with per-VC FIFOs.
 type inputPort struct {
 	queues [][]flit // [vc][fifo]
+
+	// upIdx is the dense index of the upstream router (-1 for the local
+	// injection port); upOutSlot is the slot of this router in the
+	// upstream router's outputs, where credits return.
+	upIdx     int32
+	upOutSlot int32
 }
 
 // outputPort is one router egress with wormhole lock and downstream
 // credits.
 type outputPort struct {
-	to graph.NodeID // neighbor (0 for local ejection)
+	// toIdx is the dense index of the downstream router; local marks the
+	// ejection port (toIdx is then the router's own index).
+	toIdx int32
+	local bool
 
-	// lockedKey identifies the (input, vc) currently holding the output,
-	// empty when free.
-	lockedKey string
+	// downSlot is this router's input-port slot at the downstream router.
+	downSlot int32
+
+	// edgeID is the frozen edge id of the directed link this port drives
+	// (-1 for the local port), indexing the dense link-traversal counters.
+	edgeID int32
+
+	// locked identifies the input (slot, vc) currently holding the output
+	// as slot*NumVCs+vc; -1 when free (wormhole lock).
+	locked int32
 
 	// credits[vc] is the free downstream buffer space.
 	credits []int
@@ -139,24 +168,50 @@ type outputPort struct {
 	rrIndex int
 }
 
-// router is one network node.
+// router is one network node. Ports are indexed by neighbor slot: slot k
+// of both inputs and outputs corresponds to the k-th smallest neighbor,
+// and the last slot is the local injection/ejection port.
 type router struct {
-	id graph.NodeID
-	// inputs keyed by upstream node id; the local injection port uses the
-	// router's own id as key.
-	inputs map[graph.NodeID]*inputPort
-	// outputs keyed by downstream node id; local ejection uses own id.
-	outputs map[graph.NodeID]*outputPort
+	id  graph.NodeID
+	idx int32
 
-	inKeys  []graph.NodeID
-	outKeys []graph.NodeID
+	nbr     []int32 // ascending neighbor indices (CSR row)
+	inputs  []*inputPort
+	outputs []*outputPort
+
+	// portOrder lists the slots sorted by port key — neighbor ids with the
+	// router's own id (the local port key) merged at its sorted position —
+	// the deterministic iteration order of arbitration and switch
+	// allocation.
+	portOrder []int32
+}
+
+// localSlot returns the local port slot of the router.
+func (r *router) localSlot() int32 { return int32(len(r.nbr)) }
+
+// slotOf returns the port slot of neighbor index v via binary search over
+// the sorted neighbor row.
+func (r *router) slotOf(v int32) (int32, bool) {
+	lo, hi := 0, len(r.nbr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if r.nbr[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(r.nbr) && r.nbr[lo] == v {
+		return int32(lo), true
+	}
+	return 0, false
 }
 
 // arrival is a flit in flight on a link.
 type arrival struct {
 	at   int64
-	to   graph.NodeID // router receiving the flit
-	from graph.NodeID // upstream router (input port key)
+	to   int32 // dense index of the receiving router
+	slot int32 // input-port slot at the receiver
 	f    flit
 }
 
@@ -167,18 +222,21 @@ type Network struct {
 	table routing.Table
 	vc    routing.VCAssignment
 
-	routers map[graph.NodeID]*router
+	frz     *graph.Frozen
+	routers []*router
 	order   []graph.NodeID
 
 	cycle    int64
 	inflight []arrival
 
-	srcQueue map[graph.NodeID][]*Packet // NI queues awaiting local port space
-	pending  int                        // packets injected but not ejected
+	srcQueue [][]*Packet // per router index: NI queues awaiting local port space
+	pending  int         // packets injected but not ejected
 
-	stats   Stats
-	onEject func(*Packet)
-	nextID  int
+	stats    Stats
+	swTrav   []int64 // switch traversals per router index
+	linkTrav []int64 // flit traversals per frozen directed edge id
+	onEject  func(*Packet)
+	nextID   int
 }
 
 // New builds a simulator over the architecture and routing table. The
@@ -194,54 +252,92 @@ func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routin
 	if vc.NumVCs > cfg.NumVCs {
 		cfg.NumVCs = vc.NumVCs
 	}
+	frz := arch.Graph().Freeze()
 	n := &Network{
-		cfg:      cfg,
-		arch:     arch,
-		table:    table,
-		vc:       vc,
-		routers:  make(map[graph.NodeID]*router),
-		srcQueue: make(map[graph.NodeID][]*Packet),
+		cfg:   cfg,
+		arch:  arch,
+		table: table,
+		vc:    vc,
+		frz:   frz,
+		order: append([]graph.NodeID(nil), frz.IDs()...),
 	}
 	n.stats = newStats()
-	for _, id := range arch.Nodes() {
+	n.swTrav = make([]int64, frz.NodeCount())
+	n.linkTrav = make([]int64, frz.EdgeCount())
+	n.srcQueue = make([][]*Packet, frz.NodeCount())
+	n.routers = make([]*router, frz.NodeCount())
+
+	// Wire ports from the frozen adjacency. The architecture graph carries
+	// both directions of every physical link, so the CSR out-row of a
+	// vertex is exactly its neighbor set, ascending.
+	for i := range n.routers {
+		nbr := frz.Out(i)
 		r := &router{
-			id:      id,
-			inputs:  make(map[graph.NodeID]*inputPort),
-			outputs: make(map[graph.NodeID]*outputPort),
+			id:      frz.IDOf(i),
+			idx:     int32(i),
+			nbr:     nbr,
+			inputs:  make([]*inputPort, len(nbr)+1),
+			outputs: make([]*outputPort, len(nbr)+1),
 		}
-		n.routers[id] = r
-		n.order = append(n.order, id)
+		n.routers[i] = r
 	}
-	sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
-	// Wire ports from links.
-	for _, l := range arch.Links() {
-		n.connect(l.A, l.B)
-		n.connect(l.B, l.A)
-	}
-	// Local ports.
-	for _, id := range n.order {
-		r := n.routers[id]
-		r.inputs[id] = n.newInput()
-		r.outputs[id] = &outputPort{to: id, credits: bigCredits(cfg.NumVCs)}
-		r.rebuildKeys()
+	for i, r := range n.routers {
+		e := frz.OutEdgeStart(i)
+		for k, v := range r.nbr {
+			down := n.routers[v]
+			downSlot, ok := down.slotOf(int32(i))
+			if !ok {
+				return nil, fmt.Errorf("noc: asymmetric link %d-%d", r.id, down.id)
+			}
+			cr := make([]int, cfg.NumVCs)
+			for c := range cr {
+				cr[c] = cfg.BufferFlits
+			}
+			r.outputs[k] = &outputPort{
+				toIdx:    v,
+				downSlot: downSlot,
+				edgeID:   int32(e + k),
+				locked:   -1,
+				credits:  cr,
+			}
+			r.inputs[k] = n.newInput(v, downSlot)
+		}
+		// Local ports.
+		ls := r.localSlot()
+		r.inputs[ls] = n.newInput(-1, -1)
+		r.outputs[ls] = &outputPort{
+			toIdx:   r.idx,
+			local:   true,
+			edgeID:  -1,
+			locked:  -1,
+			credits: bigCredits(cfg.NumVCs),
+		}
+		// Port keys ascend: neighbors below the router's own index, then
+		// the local port, then the rest.
+		pos := 0
+		for pos < len(r.nbr) && r.nbr[pos] < r.idx {
+			pos++
+		}
+		r.portOrder = make([]int32, 0, len(r.nbr)+1)
+		for k := 0; k < pos; k++ {
+			r.portOrder = append(r.portOrder, int32(k))
+		}
+		r.portOrder = append(r.portOrder, ls)
+		for k := pos; k < len(r.nbr); k++ {
+			r.portOrder = append(r.portOrder, int32(k))
+		}
 	}
 	return n, nil
 }
 
-func (n *Network) connect(from, to graph.NodeID) {
-	down := n.routers[to]
-	down.inputs[from] = n.newInput()
-	up := n.routers[from]
-	cr := make([]int, n.cfg.NumVCs)
-	for i := range cr {
-		cr[i] = n.cfg.BufferFlits
+// newInput builds an input port fed by upstream router upIdx through that
+// router's output slot upOutSlot (-1, -1 for the local injection port).
+func (n *Network) newInput(upIdx, upOutSlot int32) *inputPort {
+	return &inputPort{
+		queues:    make([][]flit, n.cfg.NumVCs),
+		upIdx:     upIdx,
+		upOutSlot: upOutSlot,
 	}
-	up.outputs[to] = &outputPort{to: to, credits: cr}
-}
-
-func (n *Network) newInput() *inputPort {
-	q := make([][]flit, n.cfg.NumVCs)
-	return &inputPort{queues: q}
 }
 
 func bigCredits(vcs int) []int {
@@ -250,19 +346,6 @@ func bigCredits(vcs int) []int {
 		cr[i] = 1 << 30 // local ejection is an infinite sink
 	}
 	return cr
-}
-
-func (r *router) rebuildKeys() {
-	r.inKeys = r.inKeys[:0]
-	for k := range r.inputs {
-		r.inKeys = append(r.inKeys, k)
-	}
-	sort.Slice(r.inKeys, func(i, j int) bool { return r.inKeys[i] < r.inKeys[j] })
-	r.outKeys = r.outKeys[:0]
-	for k := range r.outputs {
-		r.outKeys = append(r.outKeys, k)
-	}
-	sort.Slice(r.outKeys, func(i, j int) bool { return r.outKeys[i] < r.outKeys[j] })
 }
 
 // Cycle returns the current simulation cycle.
@@ -315,23 +398,40 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 	if len(vcs) != len(route) {
 		return nil, fmt.Errorf("noc: vcs length %d != route length %d", len(vcs), len(route))
 	}
-	for i := 0; i+1 < len(route); i++ {
-		if !n.arch.HasLink(route[i], route[i+1]) {
-			return nil, fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i], route[i+1])
+	// Resolve the route to dense indices and per-hop output slots once.
+	// slotOf doubles as the link-existence check: the frozen adjacency is
+	// built from the architecture's links.
+	routeIdx := make([]int32, len(route))
+	outSlot := make([]int32, len(route))
+	for i, id := range route {
+		ri, ok := n.frz.IndexOf(id)
+		if !ok {
+			return nil, fmt.Errorf("noc: route %v visits unknown node %d", route, id)
 		}
+		routeIdx[i] = int32(ri)
+	}
+	for i := 0; i+1 < len(route); i++ {
 		if vcs[i] < 0 || vcs[i] >= n.cfg.NumVCs {
 			return nil, fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs)
 		}
+		slot, ok := n.routers[routeIdx[i]].slotOf(routeIdx[i+1])
+		if !ok {
+			return nil, fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i], route[i+1])
+		}
+		outSlot[i] = slot
 	}
+	outSlot[len(route)-1] = n.routers[routeIdx[len(route)-1]].localSlot()
 	n.nextID++
 	p := &Packet{
 		ID: n.nextID, Src: src, Dst: dst, Bits: bits, Tag: tag,
 		InjectCycle: n.cycle,
 		route:       append([]graph.NodeID(nil), route...),
 		vcs:         append([]int(nil), vcs...),
+		outSlot:     outSlot,
 		flits:       1 + (bits+n.cfg.FlitBits-1)/n.cfg.FlitBits,
 	}
-	n.srcQueue[src] = append(n.srcQueue[src], p)
+	srcIdx := routeIdx[0]
+	n.srcQueue[srcIdx] = append(n.srcQueue[srcIdx], p)
 	n.pending++
 	n.stats.Injected++
 	return p, nil
@@ -340,12 +440,12 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 // InputOccupancy returns the number of flits currently buffered in the
 // router's input ports — the congestion signal adaptive strategies use.
 func (n *Network) InputOccupancy(node graph.NodeID) int {
-	r, ok := n.routers[node]
+	i, ok := n.frz.IndexOf(node)
 	if !ok {
 		return 0
 	}
 	total := 0
-	for _, in := range r.inputs {
+	for _, in := range n.routers[i].inputs {
 		for _, q := range in.queues {
 			total += len(q)
 		}
@@ -380,8 +480,7 @@ func (n *Network) deliverArrivals() {
 			rest = append(rest, a)
 			continue
 		}
-		r := n.routers[a.to]
-		in := r.inputs[a.from]
+		in := n.routers[a.to].inputs[a.slot]
 		vc := n.vcOf(a.f)
 		in.queues[vc] = append(in.queues[vc], a.f)
 	}
@@ -393,13 +492,13 @@ func (n *Network) deliverArrivals() {
 // the NI queue feeds one flit per cycle into the local port (the NI also
 // serializes at link width).
 func (n *Network) injectFromNIs() {
-	for _, id := range n.order {
-		q := n.srcQueue[id]
+	for i, r := range n.routers {
+		q := n.srcQueue[i]
 		if len(q) == 0 {
 			continue
 		}
 		p := q[0]
-		in := n.routers[id].inputs[id]
+		in := r.inputs[r.localSlot()]
 		vc := p.vcs[0]
 		if len(in.queues[vc]) >= n.cfg.BufferFlits {
 			continue
@@ -408,92 +507,96 @@ func (n *Network) injectFromNIs() {
 		in.queues[vc] = append(in.queues[vc], f)
 		p.injected++
 		if f.isTail {
-			n.srcQueue[id] = q[1:]
+			n.srcQueue[i] = q[1:]
 		}
 	}
 }
 
 // switchAllocation arbitrates every output port and moves winning flits.
 func (n *Network) switchAllocation() {
-	for _, id := range n.order {
-		r := n.routers[id]
-		for _, outKey := range r.outKeys {
-			out := r.outputs[outKey]
-			n.arbitrate(r, out)
+	for _, r := range n.routers {
+		for _, slot := range r.portOrder {
+			n.arbitrate(r, slot)
 		}
 	}
 }
 
-// arbKey identifies an (input port, vc) pair.
-func arbKey(in graph.NodeID, vc int) string {
-	return fmt.Sprintf("%d.%d", in, vc)
+// wantsSlot reports which output slot the head-of-line flit requests at
+// router r: its precomputed per-hop slot, or the local slot when r is the
+// destination.
+func wantsSlot(r *router, f flit) int32 {
+	p := f.pkt
+	if f.hop >= len(p.route)-1 {
+		return r.localSlot()
+	}
+	return p.outSlot[f.hop]
 }
 
-// arbitrate picks one input VC for the output port and moves its head-of-
-// line flit.
-func (n *Network) arbitrate(r *router, out *outputPort) {
-	type cand struct {
-		inKey graph.NodeID
-		vc    int
-	}
-	var cands []cand
-	for _, inKey := range r.inKeys {
-		in := r.inputs[inKey]
-		for vc := 0; vc < n.cfg.NumVCs; vc++ {
+// arbitrate picks one input VC for the output port at the given slot and
+// moves its head-of-line flit.
+func (n *Network) arbitrate(r *router, outSlot int32) {
+	out := r.outputs[outSlot]
+	// cands collects input (slot, vc) pairs encoded as slot*NumVCs+vc, in
+	// ascending port order (the deterministic arbitration domain).
+	var candBuf [16]int32
+	cands := candBuf[:0]
+	numVC := n.cfg.NumVCs
+	for _, slot := range r.portOrder {
+		in := r.inputs[slot]
+		for vc := 0; vc < numVC; vc++ {
 			q := in.queues[vc]
 			if len(q) == 0 {
 				continue
 			}
 			f := q[0]
-			if n.outputFor(r, f) != out.to {
+			if wantsSlot(r, f) != outSlot {
 				continue
 			}
 			// Wormhole lock: only the locked packet's input may use the
 			// output until the tail passes.
-			key := arbKey(inKey, vc)
-			if out.lockedKey != "" && out.lockedKey != key {
+			key := slot*int32(numVC) + int32(vc)
+			if out.locked >= 0 && out.locked != key {
 				continue
 			}
 			// Credit check for the downstream buffer (the VC of the NEXT
 			// hop governs which buffer the flit lands in).
-			if out.to != r.id { // not local ejection
+			if !out.local {
 				dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
 				if out.credits[dvc] <= 0 {
 					continue
 				}
 			}
-			cands = append(cands, cand{inKey: inKey, vc: vc})
+			cands = append(cands, key)
 		}
 	}
 	if len(cands) == 0 {
 		return
 	}
 	// Round-robin among candidates.
-	sel := cands[out.rrIndex%len(cands)]
+	key := cands[out.rrIndex%len(cands)]
 	out.rrIndex++
-	in := r.inputs[sel.inKey]
-	f := in.queues[sel.vc][0]
-	in.queues[sel.vc] = in.queues[sel.vc][1:]
+	selSlot, selVC := key/int32(numVC), int(key)%numVC
+	in := r.inputs[selSlot]
+	f := in.queues[selVC][0]
+	in.queues[selVC] = in.queues[selVC][1:]
 
 	// Wormhole lock management.
-	key := arbKey(sel.inKey, sel.vc)
 	if f.isHead {
-		out.lockedKey = key
+		out.locked = key
 	}
 	if f.isTail {
-		out.lockedKey = ""
+		out.locked = -1
 	}
 
 	// Credit return to upstream (a buffer slot freed at this router).
-	if sel.inKey != r.id {
-		up := n.routers[sel.inKey]
-		upOut := up.outputs[r.id]
-		upOut.credits[sel.vc]++
+	if in.upIdx >= 0 {
+		up := n.routers[in.upIdx]
+		up.outputs[in.upOutSlot].credits[selVC]++
 	}
 
-	n.stats.SwitchTraversals[r.id]++
+	n.swTrav[r.idx]++
 
-	if out.to == r.id {
+	if out.local {
 		// Local ejection.
 		if f.isTail {
 			p := f.pkt
@@ -513,24 +616,13 @@ func (n *Network) arbitrate(r *router, out *outputPort) {
 	// itself).
 	dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
 	out.credits[dvc]--
-	n.stats.addLinkTraversal(r.id, out.to)
+	n.linkTrav[out.edgeID]++
 	n.inflight = append(n.inflight, arrival{
 		at:   n.cycle + int64(n.cfg.LinkCycles) + int64(n.cfg.RouterCycles-1),
-		to:   out.to,
-		from: r.id,
+		to:   out.toIdx,
+		slot: out.downSlot,
 		f:    flit{pkt: f.pkt, isHead: f.isHead, isTail: f.isTail, hop: f.hop + 1},
 	})
-}
-
-// outputFor resolves which output port a flit wants at router r: the next
-// hop along its precomputed route, or the local port when r is the
-// destination.
-func (n *Network) outputFor(r *router, f flit) graph.NodeID {
-	route := f.pkt.route
-	if f.hop >= len(route)-1 {
-		return r.id // destination: eject
-	}
-	return route[f.hop+1]
 }
 
 // PortCount returns the total number of router ports in the network: two
@@ -546,12 +638,17 @@ func (n *Network) PortCount() int {
 func (n *Network) DynamicEnergyPJ(m energy.Model) float64 {
 	bitsPerFlit := float64(n.cfg.FlitBits)
 	var pj float64
-	for _, cnt := range n.stats.SwitchTraversals {
+	for _, cnt := range n.swTrav {
 		pj += float64(cnt) * bitsPerFlit * m.SwitchBit
 	}
-	for key, cnt := range n.stats.LinkTraversals {
+	ids := n.frz.IDs()
+	for e, cnt := range n.linkTrav {
+		if cnt == 0 {
+			continue
+		}
+		from, to := n.frz.EdgeEndpoints(e)
 		length := 1.0
-		if l, ok := n.arch.LinkBetween(key[0], key[1]); ok {
+		if l, ok := n.arch.LinkBetween(ids[from], ids[to]); ok {
 			length = l.LengthMM
 		}
 		pj += float64(cnt) * bitsPerFlit * m.LinkBit(length)
@@ -586,8 +683,24 @@ func (n *Network) AveragePowerMW(m energy.Model) float64 {
 	return pj * 1e-12 / seconds * 1e3
 }
 
-// Stats returns a snapshot of the accumulated statistics.
-func (n *Network) Stats() Stats { return n.stats.snapshot() }
+// Stats returns a snapshot of the accumulated statistics, converting the
+// dense activity counters into the id-keyed maps of the public Stats type.
+func (n *Network) Stats() Stats {
+	s := n.stats.snapshot()
+	for i, cnt := range n.swTrav {
+		if cnt != 0 {
+			s.SwitchTraversals[n.order[i]] = cnt
+		}
+	}
+	ids := n.frz.IDs()
+	for e, cnt := range n.linkTrav {
+		if cnt != 0 {
+			from, to := n.frz.EdgeEndpoints(e)
+			s.LinkTraversals[[2]graph.NodeID{ids[from], ids[to]}] = cnt
+		}
+	}
+	return s
+}
 
 // ResetStats clears the measurement counters without disturbing in-flight
 // traffic — the standard warm-up/measurement-window methodology: drive
@@ -596,6 +709,12 @@ func (n *Network) Stats() Stats { return n.stats.snapshot() }
 func (n *Network) ResetStats() int64 {
 	inFlight := n.pending
 	n.stats = newStats()
+	for i := range n.swTrav {
+		n.swTrav[i] = 0
+	}
+	for e := range n.linkTrav {
+		n.linkTrav[e] = 0
+	}
 	// Packets already in the network will still deliver; count them as
 	// injected in the new window so conservation checks remain valid.
 	n.stats.Injected = int64(inFlight)

@@ -75,10 +75,6 @@ func (s *Stats) recordDelivery(p *Packet) {
 	}
 }
 
-func (s *Stats) addLinkTraversal(from, to graph.NodeID) {
-	s.LinkTraversals[[2]graph.NodeID{from, to}]++
-}
-
 // AvgLatency returns the mean packet latency in cycles (0 if nothing was
 // delivered).
 func (s Stats) AvgLatency() float64 {

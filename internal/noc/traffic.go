@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,6 +25,14 @@ type Trace []TrafficEvent
 // network fails to drain within drainLimit extra cycles or an injection is
 // invalid.
 func (n *Network) Replay(trace Trace, drainLimit int64) error {
+	return n.ReplayContext(context.Background(), trace, drainLimit)
+}
+
+// ReplayContext is Replay with cancellation: the simulation checks the
+// context between cycles (every ctxCheckCycles, so the per-cycle hot path
+// stays select-free) and returns ctx.Err() as soon as it is done — the
+// hook command-line drivers use for Ctrl-C.
+func (n *Network) ReplayContext(ctx context.Context, trace Trace, drainLimit int64) error {
 	i := 0
 	for i < len(trace) {
 		// Inject everything due at or before the current cycle.
@@ -35,12 +44,42 @@ func (n *Network) Replay(trace Trace, drainLimit int64) error {
 			i++
 		}
 		n.Step()
+		if n.cycle&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 	}
-	if !n.RunUntilDrained(drainLimit) {
+	if !n.runUntilDrainedContext(ctx, drainLimit) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return fmt.Errorf("noc: network failed to drain %d packets within %d cycles",
 			n.Pending(), drainLimit)
 	}
 	return nil
+}
+
+// ctxCheckMask throttles context polls to every 1024 cycles; a canceled
+// simulation stops within microseconds without a select per cycle.
+const ctxCheckMask = 0x3ff
+
+// runUntilDrainedContext is RunUntilDrained with periodic context checks.
+func (n *Network) runUntilDrainedContext(ctx context.Context, maxCycles int64) bool {
+	limit := n.cycle + maxCycles
+	for n.pending > 0 && n.cycle < limit {
+		n.Step()
+		if n.cycle&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return false
+			default:
+			}
+		}
+	}
+	return n.pending == 0
 }
 
 // RouteChooser picks a route and per-position VC list for one traffic
@@ -51,6 +90,12 @@ type RouteChooser func(ev TrafficEvent) (route []graph.NodeID, vcs []int, err er
 // ReplayWith drives the network with the trace like Replay, but asks the
 // chooser for each packet's route instead of the built-in routing table.
 func (n *Network) ReplayWith(trace Trace, drainLimit int64, choose RouteChooser) error {
+	return n.ReplayWithContext(context.Background(), trace, drainLimit, choose)
+}
+
+// ReplayWithContext is ReplayWith with the same cancellation contract as
+// ReplayContext.
+func (n *Network) ReplayWithContext(ctx context.Context, trace Trace, drainLimit int64, choose RouteChooser) error {
 	i := 0
 	for i < len(trace) {
 		for i < len(trace) && trace[i].Cycle <= n.cycle {
@@ -65,8 +110,18 @@ func (n *Network) ReplayWith(trace Trace, drainLimit int64, choose RouteChooser)
 			i++
 		}
 		n.Step()
+		if n.cycle&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 	}
-	if !n.RunUntilDrained(drainLimit) {
+	if !n.runUntilDrainedContext(ctx, drainLimit) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return fmt.Errorf("noc: network failed to drain %d packets within %d cycles",
 			n.Pending(), drainLimit)
 	}

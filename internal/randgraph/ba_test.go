@@ -1,0 +1,89 @@
+package randgraph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	const n, m = 40, 2
+	g, err := BarabasiAlbert(n, m, 8, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != n {
+		t.Fatalf("nodes = %d, want %d", g.NodeCount(), n)
+	}
+	// Seed cycle of m+1 edges plus m attachments per later vertex.
+	wantEdges := (m + 1) + m*(n-m-1)
+	if g.EdgeCount() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.EdgeCount(), wantEdges)
+	}
+	if !g.WeaklyConnected() {
+		t.Fatal("BA graph should be weakly connected")
+	}
+	for _, e := range g.Edges() {
+		if e.Volume < 8 || e.Volume > 64 {
+			t.Fatalf("edge %v volume out of bounds", e)
+		}
+		if e.Bandwidth != e.Volume/8 {
+			t.Fatalf("edge %v bandwidth != volume/8", e)
+		}
+	}
+}
+
+// Preferential attachment must concentrate out-degree on hubs: the largest
+// out-degree should clearly exceed the median, unlike a near-regular graph.
+func TestBarabasiAlbertHubSkew(t *testing.T) {
+	g, err := BarabasiAlbert(60, 2, 8, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degs := make([]int, 0, g.NodeCount())
+	for _, id := range g.Nodes() {
+		degs = append(degs, g.OutDegree(id))
+	}
+	sort.Ints(degs)
+	max, median := degs[len(degs)-1], degs[len(degs)/2]
+	if max < 3*median || max < 6 {
+		t.Fatalf("no hub skew: max out-degree %d, median %d", max, median)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, err := BarabasiAlbert(30, 3, 8, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BarabasiAlbert(30, 3, 8, 64, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Equal(a, b) {
+		t.Fatal("same seed produced different graphs")
+	}
+	c, err := BarabasiAlbert(30, 3, 8, 64, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Equal(a, c) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestBarabasiAlbertRejectsBadArgs(t *testing.T) {
+	if _, err := BarabasiAlbert(1, 1, 0, 1, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, 0, 1, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := BarabasiAlbert(10, 10, 0, 1, 1); err == nil {
+		t.Fatal("m=n accepted")
+	}
+	if _, err := BarabasiAlbert(10, 2, 5, 1, 1); err == nil {
+		t.Fatal("inverted volume bounds accepted")
+	}
+}

@@ -45,6 +45,73 @@ func ErdosRenyi(n int, p float64, volMin, volMax float64, seed int64) (*graph.Gr
 	return g, nil
 }
 
+// BarabasiAlbert generates a scale-free directed ACG by preferential
+// attachment in the style of Barabási–Albert: starting from a small seed
+// clique, every new vertex attaches to m distinct existing vertices chosen
+// with probability proportional to their degree. Each attachment edge is
+// oriented from the existing (hub) vertex to the newcomer, so hub
+// out-degrees follow the power law — the broadcast-heavy master/worker
+// traffic shape of scale-free on-chip workloads. Per-edge volumes are
+// drawn uniformly from [volMin, volMax]; bandwidth is volume/8, matching
+// the package's other generators. Deterministic for a fixed seed.
+//
+// Scale-free (power-law) networks are the regime studied by the related
+// random-walks work on complex networks (arXiv:0908.0976); this generator
+// opens that scenario family to the synthesis flow, where a few high-
+// fan-out hubs stress the decomposition's broadcast primitives in a way
+// Erdős–Rényi traffic never does.
+func BarabasiAlbert(n, m int, volMin, volMax float64, seed int64) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("randgraph: need n >= 2, got %d", n)
+	}
+	if m < 1 || m >= n {
+		return nil, fmt.Errorf("randgraph: attachment degree m = %d out of [1, n)", m)
+	}
+	if volMax < volMin {
+		return nil, fmt.Errorf("randgraph: volume bounds inverted")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(fmt.Sprintf("ba-n%d-m%d-s%d", n, m, seed))
+	for i := 1; i <= n; i++ {
+		g.AddNode(graph.NodeID(i))
+	}
+	vol := func() float64 { return volMin + rng.Float64()*(volMax-volMin) }
+
+	// Seed component: a directed cycle over the first m+1 vertices, so
+	// every seed vertex starts with degree 2 and the graph stays weakly
+	// connected.
+	seedSize := m + 1
+	for i := 0; i < seedSize; i++ {
+		v := vol()
+		g.AddEdge(graph.Edge{
+			From: graph.NodeID(i + 1), To: graph.NodeID((i+1)%seedSize + 1),
+			Volume: v, Bandwidth: v / 8,
+		})
+	}
+	// repeated holds one entry per incident edge endpoint — sampling an
+	// element uniformly is preferential attachment by degree.
+	repeated := make([]graph.NodeID, 0, 2*(seedSize+m*(n-seedSize)))
+	for i := 0; i < seedSize; i++ {
+		id := graph.NodeID(i + 1)
+		repeated = append(repeated, id, id)
+	}
+	for i := seedSize; i < n; i++ {
+		newcomer := graph.NodeID(i + 1)
+		chosen := make(map[graph.NodeID]bool, m)
+		for len(chosen) < m {
+			hub := repeated[rng.Intn(len(repeated))]
+			if hub == newcomer || chosen[hub] {
+				continue
+			}
+			chosen[hub] = true
+			v := vol()
+			g.AddEdge(graph.Edge{From: hub, To: newcomer, Volume: v, Bandwidth: v / 8})
+			repeated = append(repeated, hub, newcomer)
+		}
+	}
+	return g, nil
+}
+
 // PaperFig5 reconstructs the paper's Figure 5 random benchmark exactly
 // from the published decomposition listing: an 8-vertex graph that is the
 // edge-disjoint union of one MGG4 on {1,2,5,6}, broadcasts 3->{2,5,6},

@@ -78,6 +78,22 @@ func (t Table) installPath(path []graph.NodeID) error {
 	return nil
 }
 
+// lengthWeights returns the per-edge-id Dijkstra costs of a frozen
+// architecture graph: the physical link length, or 1 where the floorplan
+// offers none.
+func lengthWeights(arch *topology.Architecture, f *graph.Frozen) []float64 {
+	w := make([]float64, f.EdgeCount())
+	ids := f.IDs()
+	for e := range w {
+		from, to := f.EdgeEndpoints(e)
+		w[e] = 1
+		if l, ok := arch.LinkBetween(ids[from], ids[to]); ok {
+			w[e] = l.LengthMM
+		}
+	}
+	return w
+}
+
 // Build constructs the routing table for an architecture. Preferred routes
 // (the primitive-schedule routes recorded during synthesis) are installed
 // first; all remaining node pairs are completed with shortest paths over
@@ -88,6 +104,11 @@ func (t Table) installPath(path []graph.NodeID) error {
 // suffixes conflict with an already-installed one is relaxed to
 // shortest-path completion for the conflicting pairs (the table must stay
 // destination-deterministic: one next hop per (node, destination)).
+//
+// Shortest-path completion freezes the architecture graph once and runs a
+// single Dijkstra per source vertex over the CSR — the per-pair map-graph
+// searches this replaces produced identical paths (same tie-breaks), one
+// full Dijkstra per *pair*.
 func Build(arch *topology.Architecture) (Table, error) {
 	if arch == nil {
 		return nil, fmt.Errorf("routing: nil architecture")
@@ -96,7 +117,6 @@ func Build(arch *topology.Architecture) (Table, error) {
 		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
 	}
 	t := make(Table)
-	g := arch.Graph()
 
 	for _, pair := range arch.PreferredPairs() {
 		route, _ := arch.PreferredRoute(pair[0], pair[1])
@@ -107,28 +127,30 @@ func Build(arch *topology.Architecture) (Table, error) {
 		}
 	}
 
-	w := func(e graph.Edge) float64 {
-		if l, ok := arch.LinkBetween(e.From, e.To); ok {
-			return l.LengthMM
-		}
-		return 1
-	}
-	nodes := arch.Nodes()
-	for _, src := range nodes {
-		for _, dst := range nodes {
+	f := arch.Graph().Freeze()
+	w := lengthWeights(arch, f)
+	ids := f.IDs()
+	for si, src := range ids {
+		// The shortest-path tree from src is computed at most once, and
+		// only if some destination was not covered by a preferred route.
+		var prev []int32
+		for di, dst := range ids {
 			if src == dst {
 				continue
 			}
 			if _, ok := t.NextHop(src, dst); ok {
 				continue
 			}
-			path, _, ok := g.ShortestPath(src, dst, w)
+			if prev == nil {
+				_, prev = f.ShortestPathTree(si, w)
+			}
+			path, ok := graph.PathFromTree(prev, si, di)
 			if !ok {
 				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
 			}
 			// Install only the first hop (suffix hops may conflict with
 			// preferred routes of other pairs).
-			if err := t.set(src, dst, path[1]); err != nil {
+			if err := t.set(src, dst, ids[path[1]]); err != nil {
 				return nil, err
 			}
 		}
@@ -142,7 +164,8 @@ func Build(arch *topology.Architecture) (Table, error) {
 
 // BuildShortestPath constructs a routing table ignoring the architecture's
 // preferred (schedule-derived) routes, using pure length-weighted shortest
-// paths — the routing ablation of the Section 4.5 design choice.
+// paths — the routing ablation of the Section 4.5 design choice. Like
+// Build, it runs one CSR Dijkstra per source vertex.
 func BuildShortestPath(arch *topology.Architecture) (Table, error) {
 	if arch == nil {
 		return nil, fmt.Errorf("routing: nil architecture")
@@ -151,24 +174,20 @@ func BuildShortestPath(arch *topology.Architecture) (Table, error) {
 		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
 	}
 	t := make(Table)
-	g := arch.Graph()
-	w := func(e graph.Edge) float64 {
-		if l, ok := arch.LinkBetween(e.From, e.To); ok {
-			return l.LengthMM
-		}
-		return 1
-	}
-	nodes := arch.Nodes()
-	for _, src := range nodes {
-		for _, dst := range nodes {
+	f := arch.Graph().Freeze()
+	w := lengthWeights(arch, f)
+	ids := f.IDs()
+	for si, src := range ids {
+		_, prev := f.ShortestPathTree(si, w)
+		for di, dst := range ids {
 			if src == dst {
 				continue
 			}
-			path, _, ok := g.ShortestPath(src, dst, w)
+			path, ok := graph.PathFromTree(prev, si, di)
 			if !ok {
 				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
 			}
-			if err := t.set(src, dst, path[1]); err != nil {
+			if err := t.set(src, dst, ids[path[1]]); err != nil {
 				return nil, err
 			}
 		}
