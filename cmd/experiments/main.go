@@ -22,18 +22,39 @@
 // -workers goroutines, each solve itself using -parallel branch-and-bound
 // workers, and writes one JSON record per scenario to -out (default
 // experiments-batch.json, "-" for stdout).
+//
+// With -serve-url the batch runner becomes a load client for a running
+// nocserve daemon: every scenario is POSTed to /v1/synthesize?wait=1
+// instead of being solved in-process, and each record carries the
+// daemon's content-address and serving path (queued, coalesced, cache).
+//
+//	experiments -batch -serve-url http://localhost:8080
+//
+// -dumpacg writes one scenario's ACG as nocsynth/nocserve-compatible
+// JSON to -out ("aes", "fig5", or "tgff:<nodes>:<seed>"), for feeding
+// the other tools:
+//
+//	experiments -dumpacg aes -out aes.json
+//
+// Every mode honors Ctrl-C/SIGTERM: in-flight solves are canceled and the
+// best results found so far are still printed.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +65,7 @@ import (
 	"repro/internal/primitives"
 	"repro/internal/randgraph"
 	"repro/internal/routing"
+	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/tgff"
 
@@ -60,39 +82,89 @@ func main() {
 	out := flag.String("out", "experiments-batch.json", "batch output path (\"-\" = stdout)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent scenarios in -batch mode")
 	parallel := flag.Int("parallel", 1, "branch-and-bound workers per solve in -batch mode")
+	serveURL := flag.String("serve-url", "", "drive a running nocserve daemon instead of solving in-process (-batch mode)")
+	dumpACG := flag.String("dumpacg", "", "write one scenario ACG as JSON to -out: aes, fig5, or tgff:<nodes>:<seed>")
 	flag.Parse()
 
+	// Every mode shares one signal-bound context: Ctrl-C cancels the
+	// running solves, and each mode still reports what it finished.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *dumpACG != "" {
+		// -out's default is the batch sink; for -dumpacg only an
+		// explicitly passed -out names a file, otherwise write stdout.
+		outSet := false
+		flag.Visit(func(f *flag.Flag) { outSet = outSet || f.Name == "out" })
+		if !outSet {
+			*out = "-"
+		}
+		dumpACGJSON(*dumpACG, *out)
+		return
+	}
 	if *batch {
-		runBatch(*out, *workers, *parallel, *seeds)
+		runBatch(ctx, *out, *workers, *parallel, *seeds, *serveURL)
 		return
 	}
 	if *all {
 		for _, f := range []string{"1", "2", "4a", "4b", "5", "6"} {
-			runFig(f, *seeds)
+			runFig(ctx, f, *seeds)
 			fmt.Println()
 		}
-		runTableAES(*routingMode)
+		runTableAES(ctx, *routingMode)
 		return
 	}
 	switch {
 	case *fig != "":
-		runFig(*fig, *seeds)
+		runFig(ctx, *fig, *seeds)
 	case *table == "aes":
-		runTableAES(*routingMode)
+		runTableAES(ctx, *routingMode)
 	case *table == "routing":
 		runTableRouting()
 	case *table == "floorplan":
-		runTableFloorplan()
+		runTableFloorplan(ctx)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+// dumpACGJSON writes the named scenario's ACG in the JSON schema shared
+// by nocsynth and nocserve ("-" or empty out = stdout).
+func dumpACGJSON(name, out string) {
+	var acg *graph.Graph
+	switch {
+	case name == "aes":
+		acg = repro.AESACG(0.1)
+	case name == "fig5":
+		acg = randgraph.PaperFig5(16)
+	case strings.HasPrefix(name, "tgff:"):
+		var n int
+		var seed int64
+		if _, err := fmt.Sscanf(name, "tgff:%d:%d", &n, &seed); err != nil {
+			check(fmt.Errorf("bad tgff spec %q (want tgff:<nodes>:<seed>): %v", name, err))
+		}
+		g, err := tgff.Generate(tgff.DefaultConfig(n, seed))
+		check(err)
+		acg = g
+	default:
+		check(fmt.Errorf("unknown -dumpacg scenario %q (want aes, fig5 or tgff:<nodes>:<seed>)", name))
+	}
+	enc, err := json.MarshalIndent(acg, "", "  ")
+	check(err)
+	enc = append(enc, '\n')
+	if out == "-" || out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	check(os.WriteFile(out, enc, 0o644))
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s ACG to %s\n", name, out)
+}
+
 // runTableFloorplan explores the paper's floorplan-relaxation future work
 // (Section 6): synthesis energy on an area-only floorplan vs. the
 // traffic-aware co-optimized one, for random task graphs.
-func runTableFloorplan() {
+func runTableFloorplan(ctx context.Context) {
 	fmt.Println("=== Future work: area-only vs traffic-aware floorplanning ===")
 	fmt.Printf("%-10s %12s %12s %14s %14s\n",
 		"graph", "area mm2", "area mm2*", "energy pJ", "energy pJ*")
@@ -118,7 +190,7 @@ func runTableFloorplan() {
 		check(err)
 
 		synthCost := func(p *floorplan.Placement) float64 {
-			res, err := core.Solve(core.Problem{
+			res, err := core.SolveContext(ctx, core.Problem{
 				ACG:       tasks,
 				Library:   primitives.MustDefault(),
 				Placement: p,
@@ -179,20 +251,20 @@ func runTableRouting() {
 	}
 }
 
-func runFig(fig string, seeds int) {
+func runFig(ctx context.Context, fig string, seeds int) {
 	switch fig {
 	case "1":
 		fig1()
 	case "2":
-		fig2()
+		fig2(ctx)
 	case "4a":
-		fig4a(seeds)
+		fig4a(ctx, seeds)
 	case "4b":
-		fig4b(seeds)
+		fig4b(ctx, seeds)
 	case "5":
-		fig5()
+		fig5(ctx)
 	case "6":
-		fig6()
+		fig6(ctx)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", fig)
 		os.Exit(2)
@@ -217,13 +289,13 @@ func fig1() {
 // text; a K4 plus a pendant edge produces the same tree shape: a gossip
 // branch, a loop branch and a broadcast branch, with the gossip branch
 // winning).
-func fig2() {
+func fig2(ctx context.Context) {
 	fmt.Println("=== Figure 2: decomposition tree worked example ===")
 	acg := graph.CompleteDigraph("fig2", graph.Range(1, 4), 8, 1)
 	acg.AddEdge(graph.Edge{From: 1, To: 5, Volume: 8, Bandwidth: 1})
 	fmt.Println("input: K4 digraph on {1..4} plus pendant edge 1->5")
 
-	res, err := core.Solve(core.Problem{
+	res, err := core.SolveContext(ctx, core.Problem{
 		ACG:     acg,
 		Library: primitives.MustDefault(),
 		Energy:  energy.Tech180,
@@ -238,7 +310,7 @@ func fig2() {
 
 // fig4a sweeps TGFF-style task graphs (paper Figure 4a: up to 18 nodes,
 // largest run time 0.3 s).
-func fig4a(seeds int) {
+func fig4a(ctx context.Context, seeds int) {
 	fmt.Println("=== Figure 4a: run time on TGFF-style task graphs ===")
 	series := stats.Series{Name: "fig4a", XLabel: "nodes", YLabel: "seconds"}
 	for n := 5; n <= 18; n++ {
@@ -247,7 +319,7 @@ func fig4a(seeds int) {
 			acg, err := tgff.Generate(tgff.DefaultConfig(n, int64(s)))
 			check(err)
 			start := time.Now()
-			_, err = core.Solve(core.Problem{
+			_, err = core.SolveContext(ctx, core.Problem{
 				ACG:     acg,
 				Library: primitives.MustDefault(),
 				Energy:  energy.Tech180,
@@ -263,7 +335,7 @@ func fig4a(seeds int) {
 
 // fig4b sweeps Pajek-style random graphs (paper Figure 4b: 60+ graphs,
 // up to 40 nodes, under 3 minutes).
-func fig4b(seeds int) {
+func fig4b(ctx context.Context, seeds int) {
 	fmt.Println("=== Figure 4b: average run time on Pajek-style random graphs ===")
 	series := stats.Series{Name: "fig4b", XLabel: "nodes", YLabel: "seconds"}
 	for _, n := range []int{10, 15, 20, 25, 30, 35, 40} {
@@ -272,7 +344,7 @@ func fig4b(seeds int) {
 			acg, err := randgraph.ErdosRenyi(n, 0.15, 8, 64, int64(s))
 			check(err)
 			start := time.Now()
-			_, err = core.Solve(core.Problem{
+			_, err = core.SolveContext(ctx, core.Problem{
 				ACG:     acg,
 				Library: primitives.MustDefault(),
 				Energy:  energy.Tech180,
@@ -293,13 +365,13 @@ func fig4b(seeds int) {
 // fig5 reproduces the worked random example: a graph assembled from
 // planted primitives, decomposed with no remainder (paper: one MGG4,
 // three G123, one G124, < 0.1 s).
-func fig5() {
+func fig5(ctx context.Context) {
 	fmt.Println("=== Figure 5: customized synthesis for a random benchmark ===")
 	lib := primitives.MustDefault()
 	acg := randgraph.PaperFig5(16)
 	fmt.Printf("input: the paper's 8-node benchmark, %d edges\n", acg.EdgeCount())
 	start := time.Now()
-	res, err := core.Solve(core.Problem{
+	res, err := core.SolveContext(ctx, core.Problem{
 		ACG:     acg,
 		Library: lib,
 		Energy:  energy.Tech180,
@@ -312,12 +384,12 @@ func fig5() {
 // fig6 reproduces the AES decomposition and the customized architecture
 // (paper: 4 column MGG4s, rows 2/4 as L4, row 3 as remainder, cost 28,
 // 0.58 s).
-func fig6() {
+func fig6(ctx context.Context) {
 	fmt.Println("=== Figure 6: AES ACG and customized architecture ===")
 	acg := repro.AESACG(0.1)
 	fmt.Printf("ACG: %d nodes, %d edges\n", acg.NodeCount(), acg.EdgeCount())
 	start := time.Now()
-	res, err := repro.Synthesize(acg, repro.Options{
+	res, err := repro.SynthesizeContext(ctx, acg, repro.Options{
 		Mode:      repro.CostLinks,
 		Placement: repro.GridPlacement(16, 1, 1, 0.2),
 		Timeout:   60 * time.Second,
@@ -329,7 +401,7 @@ func fig6() {
 }
 
 // runTableAES regenerates the Section 5.2 prototype comparison.
-func runTableAES(routingMode string) {
+func runTableAES(ctx context.Context, routingMode string) {
 	fmt.Println("=== Section 5.2: AES prototype comparison (mesh vs customized) ===")
 	const blocks = 10
 	placement := floorplan.Grid(16, 1, 1, 0.2)
@@ -342,7 +414,7 @@ func runTableAES(routingMode string) {
 	check(err)
 	mesh.Links = meshArch.LinkCount()
 
-	res, err := repro.Synthesize(repro.AESACG(0.1), repro.Options{
+	res, err := repro.SynthesizeContext(ctx, repro.AESACG(0.1), repro.Options{
 		Mode: repro.CostLinks, Placement: placement, Timeout: 60 * time.Second,
 	})
 	check(err)
@@ -411,6 +483,11 @@ type batchResult struct {
 	Canceled       bool    `json:"canceled"`
 	ElapsedSec     float64 `json:"elapsedSec"`
 	Error          string  `json:"error,omitempty"`
+	// ServeKey/ServePath are set in -serve-url mode: the daemon's content
+	// address for the scenario and how it was satisfied (queued,
+	// coalesced, cache).
+	ServeKey  string `json:"serveKey,omitempty"`
+	ServePath string `json:"servePath,omitempty"`
 }
 
 // batchScenarios assembles the sweep: the Figure 4a TGFF range, the Figure
@@ -484,11 +561,9 @@ func batchScenarios(seeds, parallel int) []scenario {
 
 // runBatch sweeps all scenarios across a pool of goroutines and writes the
 // JSON records. Ctrl-C cancels the remaining solves; completed records are
-// still written.
-func runBatch(out string, workers, parallel, seeds int) {
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
-
+// still written. With serveURL the sweep is delegated to a nocserve
+// daemon, one HTTP submission per scenario.
+func runBatch(ctx context.Context, out string, workers, parallel, seeds int, serveURL string) {
 	// Open the sink before sweeping so a bad path fails in milliseconds,
 	// not after minutes of solving.
 	sink := os.Stdout
@@ -506,8 +581,12 @@ func runBatch(out string, workers, parallel, seeds int) {
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
-	fmt.Fprintf(os.Stderr, "experiments: sweeping %d scenarios on %d workers (%d solver workers each)\n",
-		len(scenarios), workers, parallel)
+	mode := "in-process"
+	if serveURL != "" {
+		mode = "daemon at " + serveURL
+	}
+	fmt.Fprintf(os.Stderr, "experiments: sweeping %d scenarios on %d workers (%d solver workers each, %s)\n",
+		len(scenarios), workers, parallel, mode)
 
 	var next int32
 	var mu sync.Mutex
@@ -525,7 +604,11 @@ func runBatch(out string, workers, parallel, seeds int) {
 				if i >= len(scenarios) {
 					return
 				}
-				results[i] = runScenario(ctx, scenarios[i])
+				if serveURL != "" {
+					results[i] = runScenarioRemote(ctx, serveURL, scenarios[i])
+				} else {
+					results[i] = runScenario(ctx, scenarios[i])
+				}
 				mu.Lock()
 				done++
 				fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s n=%d seed=%d %s: cost=%g in %.3fs\n",
@@ -576,6 +659,75 @@ func runScenario(ctx context.Context, sc scenario) batchResult {
 		r.Matches = len(res.Best.Matches)
 		r.RemainderEdges = res.Best.Remainder.EdgeCount()
 	}
+	return r
+}
+
+// runScenarioRemote submits one scenario to a nocserve daemon and blocks
+// for the canonical result, exercising the full service path: content
+// addressing, coalescing and the result cache. The daemon's answer is
+// decoded with the same codec the daemon encoded with, so a corrupt or
+// version-skewed response fails loudly rather than producing a bogus row.
+func runScenarioRemote(ctx context.Context, serveURL string, sc scenario) batchResult {
+	r := batchResult{scenario: sc}
+	body, err := json.Marshal(service.SynthesizeRequest{
+		Graph: sc.acg,
+		Options: service.RequestOptions{
+			Mode:         sc.Mode,
+			Grid:         []float64{float64(sc.acg.NodeCount()), 1, 1, 0.2},
+			TimeoutMs:    sc.opts.Timeout.Milliseconds(),
+			IsoTimeoutMs: sc.opts.IsoTimeout.Milliseconds(),
+			Parallelism:  sc.opts.Parallelism,
+		},
+	})
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(serveURL, "/")+"/v1/synthesize?wait=1", bytes.NewReader(body))
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		r.Error = err.Error()
+		r.ElapsedSec = time.Since(start).Seconds()
+		return r
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	r.ElapsedSec = time.Since(start).Seconds()
+	r.ServeKey = resp.Header.Get("X-Nocserve-Key")
+	r.ServePath = resp.Header.Get("X-Nocserve-Path")
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	if resp.StatusCode != http.StatusOK {
+		r.Error = fmt.Sprintf("daemon returned %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+		return r
+	}
+	res, err := repro.DecodeResult(data, nil)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	r.Feasible = true
+	r.Cost = res.Decomposition.Cost
+	r.Matches = len(res.Decomposition.Matches)
+	if res.Decomposition.Remainder != nil {
+		r.RemainderEdges = res.Decomposition.Remainder.EdgeCount()
+	}
+	r.NodesExplored = res.Stats.NodesExplored
+	r.BranchesPruned = res.Stats.BranchesPruned
+	r.IsoCacheHits = res.Stats.IsoCacheHits
+	r.IsoCacheMisses = res.Stats.IsoCacheMisses
+	r.SolverWorkers = res.Stats.Workers
+	r.TimedOut = res.Stats.TimedOut
+	r.Canceled = res.Stats.Canceled
 	return r
 }
 

@@ -1,0 +1,109 @@
+// Command nocserve runs the synthesis-as-a-service daemon: a long-lived
+// HTTP server that accepts application characterization graphs, solves
+// them on a bounded worker pool, and memoizes results in a
+// content-addressed cache so identical submissions pay the
+// branch-and-bound cost once.
+//
+// API:
+//
+//	POST /v1/synthesize           submit an ACG (JSON body: {"graph":..., "options":...});
+//	                              returns {"jobId","key","state","path"}
+//	POST /v1/synthesize?wait=1    same, but block and return the canonical result JSON
+//	GET  /v1/jobs/{id}            job status and summary
+//	GET  /v1/results/{key}        canonical result bytes by content address
+//	GET  /healthz                 liveness (503 while draining)
+//	GET  /metrics                 Prometheus text metrics
+//
+// Usage:
+//
+//	nocserve [-addr :8080] [-workers N] [-queue 64]
+//	         [-cache-entries 4096] [-cache-dir DIR]
+//	         [-default-timeout 60s] [-max-timeout 10m] [-drain-timeout 30s]
+//
+// With -cache-dir the in-memory LRU is layered over a disk store, so the
+// cache survives restarts. SIGINT/SIGTERM starts a graceful drain:
+// in-flight and queued jobs complete (up to -drain-timeout), new
+// submissions are refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver pool size (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "job queue depth")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory result cache entries (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "disk-backed result cache directory (empty = memory only)")
+	defaultTimeout := flag.Duration("default-timeout", time.Minute, "per-job solve deadline when the request has none")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper bound on any requested deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for in-flight jobs")
+	flag.Parse()
+
+	var store service.Store = service.NewMemoryStore(*cacheEntries)
+	if *cacheDir != "" {
+		disk, err := service.NewDiskStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocserve:", err)
+			os.Exit(1)
+		}
+		store = service.NewTieredStore(service.NewMemoryStore(*cacheEntries), disk)
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *defaultTimeout,
+		MaxTimeout:     *maxTimeout,
+		Store:          store,
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: service.Handler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "nocserve: listening on %s (workers=%d queue=%d cache=%s)\n",
+		*addr, *workers, *queue, cacheDesc(*cacheDir))
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "nocserve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "nocserve: signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections, then drain the job queue: every queued
+	// and running job completes unless the drain deadline expires.
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "nocserve: http shutdown:", err)
+	}
+	if err := svc.Close(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "nocserve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "nocserve: drained cleanly")
+}
+
+func cacheDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "memory+disk:" + dir
+}

@@ -1,0 +1,58 @@
+package floorplan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// jsonPlacement is the wire form of a Placement: per-core origin and
+// placed dimensions in ascending core-id order, plus the chip bounding
+// box. The core list is sorted so equal placements encode to identical
+// bytes (see internal/routing/json.go for the determinism contract).
+type jsonPlacement struct {
+	ChipW float64    `json:"chipW"`
+	ChipH float64    `json:"chipH"`
+	Cores []jsonCore `json:"cores"`
+}
+
+type jsonCore struct {
+	ID graph.NodeID `json:"id"`
+	OX float64      `json:"ox"`
+	OY float64      `json:"oy"`
+	W  float64      `json:"w"`
+	H  float64      `json:"h"`
+}
+
+// MarshalJSON encodes the placement deterministically.
+func (p *Placement) MarshalJSON() ([]byte, error) {
+	jp := jsonPlacement{ChipW: p.ChipW, ChipH: p.ChipH}
+	for _, id := range p.Cores() {
+		o, d := p.Origin(id), p.Dims(id)
+		jp.Cores = append(jp.Cores, jsonCore{ID: id, OX: o.X, OY: o.Y, W: d.X, H: d.Y})
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON decodes a placement produced by MarshalJSON. The chip
+// bounding box is taken from the wire form verbatim (it may exceed the
+// union of core boxes when the floorplanner reserved slack).
+func (p *Placement) UnmarshalJSON(data []byte) error {
+	var jp jsonPlacement
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return err
+	}
+	origins := make(map[graph.NodeID]Point, len(jp.Cores))
+	dims := make(map[graph.NodeID]Point, len(jp.Cores))
+	for _, c := range jp.Cores {
+		if _, dup := origins[c.ID]; dup {
+			return fmt.Errorf("floorplan: duplicate core %d in placement", c.ID)
+		}
+		origins[c.ID] = Point{X: c.OX, Y: c.OY}
+		dims[c.ID] = Point{X: c.W, Y: c.H}
+	}
+	*p = *NewPlacement(origins, dims)
+	p.ChipW, p.ChipH = jp.ChipW, jp.ChipH
+	return nil
+}

@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+func hashGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New("hashme")
+	for _, id := range []NodeID{1, 2, 3, 5} {
+		g.AddNode(id)
+	}
+	g.SetEdge(Edge{From: 1, To: 2, Volume: 128, Bandwidth: 10})
+	g.SetEdge(Edge{From: 2, To: 3, Volume: 64, Bandwidth: 5})
+	g.SetEdge(Edge{From: 3, To: 1, Volume: 32, Bandwidth: 2.5})
+	return g
+}
+
+func TestCanonicalHashStableGolden(t *testing.T) {
+	// Golden digest: the hash is an external cache key, so its value must
+	// not drift across refactors. If this test fails the encoding changed;
+	// bump the version tag in CanonicalHash and update the constant.
+	const want = "35db6755ba61da33d6860dd2033204995f2f872537c3a52ee8d697c1198c743b"
+	sum := hashGraph(t).Freeze().CanonicalHash()
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Fatalf("CanonicalHash drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestCanonicalHashEqualGraphsAgree(t *testing.T) {
+	a := hashGraph(t).Freeze().CanonicalHash()
+	// Build the same graph in a different insertion order.
+	g := New("hashme")
+	g.SetEdge(Edge{From: 3, To: 1, Volume: 32, Bandwidth: 2.5})
+	g.SetEdge(Edge{From: 1, To: 2, Volume: 128, Bandwidth: 10})
+	g.SetEdge(Edge{From: 2, To: 3, Volume: 64, Bandwidth: 5})
+	g.AddNode(5)
+	if b := g.Freeze().CanonicalHash(); a != b {
+		t.Fatal("equal graphs hash differently")
+	}
+}
+
+func TestCanonicalHashDistinguishes(t *testing.T) {
+	base := hashGraph(t).Freeze().CanonicalHash()
+	mutations := map[string]func(*Graph){
+		"volume":    func(g *Graph) { g.SetEdge(Edge{From: 1, To: 2, Volume: 129, Bandwidth: 10}) },
+		"bandwidth": func(g *Graph) { g.SetEdge(Edge{From: 1, To: 2, Volume: 128, Bandwidth: 11}) },
+		"edge":      func(g *Graph) { g.SetEdge(Edge{From: 1, To: 3, Volume: 1, Bandwidth: 1}) },
+		"node":      func(g *Graph) { g.AddNode(9) },
+	}
+	for name, mutate := range mutations {
+		g := hashGraph(t)
+		mutate(g)
+		if g.Freeze().CanonicalHash() == base {
+			t.Errorf("%s mutation not reflected in hash", name)
+		}
+	}
+	renamed := New("other")
+	for _, id := range hashGraph(t).Nodes() {
+		renamed.AddNode(id)
+	}
+	for _, e := range hashGraph(t).Edges() {
+		renamed.SetEdge(e)
+	}
+	if renamed.Freeze().CanonicalHash() == base {
+		t.Error("name change not reflected in hash")
+	}
+}

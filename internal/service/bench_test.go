@@ -1,0 +1,72 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/tgff"
+
+	repro "repro"
+)
+
+// benchOptions is a fast, deterministic solve configuration for the
+// service-path benchmarks.
+var benchOptions = repro.Options{Mode: repro.CostLinks, Timeout: 30 * time.Second, Parallelism: 1}
+
+// BenchmarkServiceColdSolve measures the full service path on a cache
+// miss: content hashing, queueing, one real branch-and-bound solve,
+// canonical encoding and cache publication. A fresh service per
+// iteration keeps every submission cold.
+func BenchmarkServiceColdSolve(b *testing.B) {
+	acg, err := tgff.Generate(tgff.DefaultConfig(10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(Config{Workers: 1})
+		job, path, err := s.Submit(Request{ACG: acg, Options: benchOptions, Wait: true})
+		if err != nil || path != "queued" {
+			b.Fatalf("submit: path=%q err=%v", path, err)
+		}
+		if err := job.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if job.State() != StateDone {
+			b.Fatalf("job state %q: %s", job.State(), job.Err())
+		}
+		s.Close(time.Second)
+	}
+}
+
+// BenchmarkServiceCacheHit measures the amortized path: the same
+// submission against a primed cache — hashing plus store lookup, no
+// solver. The cold/hit ratio is the service's whole value proposition,
+// recorded per PR in BENCH_pr3.json.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	acg, err := tgff.Generate(tgff.DefaultConfig(10, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Workers: 1})
+	defer s.Close(time.Second)
+	job, _, err := s.Submit(Request{ACG: acg, Options: benchOptions, Wait: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job, path, err := s.Submit(Request{ACG: acg, Options: benchOptions, Wait: true})
+		if err != nil || path != "cache" {
+			b.Fatalf("submit: path=%q err=%v", path, err)
+		}
+		if len(job.Encoded()) == 0 {
+			b.Fatal("no bytes")
+		}
+	}
+}

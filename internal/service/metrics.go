@@ -1,0 +1,119 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's instrumentation: atomic counters and gauges
+// plus a solve-latency histogram, exposed in Prometheus text format on
+// GET /metrics. Hand-rolled because the repo takes no dependencies; the
+// exposition subset used here (counter, gauge, histogram) is stable and
+// tiny.
+type Metrics struct {
+	JobsSubmitted atomic.Uint64 // accepted submissions, including coalesced and cache hits
+	JobsCoalesced atomic.Uint64 // submissions attached to an in-flight identical job
+	JobsRejected  atomic.Uint64 // refused: queue full or draining
+	JobsQueued    atomic.Int64  // gauge: jobs waiting for a worker
+	JobsRunning   atomic.Int64  // gauge: jobs being solved now
+	JobsDone      atomic.Uint64 // completed successfully (including served from cache)
+	JobsFailed    atomic.Uint64 // completed with an error
+	JobsCanceled  atomic.Uint64 // canceled before completion (disconnect, deadline)
+
+	CacheHits   atomic.Uint64
+	CacheMisses atomic.Uint64
+	StoreErrors atomic.Uint64 // result-store faults (reads and writes); never fatal to a solve
+
+	Solves atomic.Uint64 // actual solver invocations (cache and coalescing bypass these)
+
+	solveLatency histogram
+}
+
+// ObserveSolve records one solver invocation's wall time.
+func (m *Metrics) ObserveSolve(d time.Duration) {
+	m.Solves.Add(1)
+	m.solveLatency.observe(d.Seconds())
+}
+
+// CacheHitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRatio() float64 {
+	h, mi := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+mi == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+mi)
+}
+
+// histogram is a fixed-bucket latency histogram (seconds).
+type histogram struct {
+	mu     sync.Mutex
+	counts [len(latencyBuckets) + 1]uint64
+	sum    float64
+	total  uint64
+}
+
+// latencyBuckets spans sub-millisecond cache-path times through the
+// multi-minute solves of 40-node Pajek graphs.
+var latencyBuckets = [...]float64{
+	0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(latencyBuckets[:], v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// WritePrometheus renders all metrics in Prometheus text exposition
+// format.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("nocserve_jobs_submitted_total", "Accepted synthesis submissions.", m.JobsSubmitted.Load())
+	counter("nocserve_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical job.", m.JobsCoalesced.Load())
+	counter("nocserve_jobs_rejected_total", "Submissions refused (queue full or draining).", m.JobsRejected.Load())
+	gauge("nocserve_jobs_queued", "Jobs waiting for a worker.", m.JobsQueued.Load())
+	gauge("nocserve_jobs_running", "Jobs currently solving.", m.JobsRunning.Load())
+	counter("nocserve_jobs_done_total", "Jobs completed successfully.", m.JobsDone.Load())
+	counter("nocserve_jobs_failed_total", "Jobs completed with an error.", m.JobsFailed.Load())
+	counter("nocserve_jobs_canceled_total", "Jobs canceled before completion.", m.JobsCanceled.Load())
+	counter("nocserve_cache_hits_total", "Result cache hits.", m.CacheHits.Load())
+	counter("nocserve_cache_misses_total", "Result cache misses.", m.CacheMisses.Load())
+	counter("nocserve_store_errors_total", "Result store faults (reads and writes).", m.StoreErrors.Load())
+	counter("nocserve_solves_total", "Actual solver invocations.", m.Solves.Load())
+	fmt.Fprintf(w, "# HELP nocserve_cache_hit_ratio Result cache hit ratio.\n# TYPE nocserve_cache_hit_ratio gauge\nnocserve_cache_hit_ratio %g\n",
+		m.CacheHitRatio())
+
+	h := &m.solveLatency
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	fmt.Fprintf(w, "# HELP nocserve_solve_duration_seconds Solver wall time per invocation.\n# TYPE nocserve_solve_duration_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "nocserve_solve_duration_seconds_bucket{le=%q} %d\n", trimFloat(ub), cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(w, "nocserve_solve_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "nocserve_solve_duration_seconds_sum %g\n", h.sum)
+	fmt.Fprintf(w, "nocserve_solve_duration_seconds_count %d\n", h.total)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

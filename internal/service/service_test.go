@@ -1,0 +1,486 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+
+	repro "repro"
+)
+
+// stubACG returns a small deterministic graph for stub-solver tests.
+func stubACG(name string) *graph.Graph {
+	g := graph.New(name)
+	for i := graph.NodeID(1); i <= 4; i++ {
+		g.AddNode(i)
+	}
+	g.SetEdge(graph.Edge{From: 1, To: 2, Volume: 8, Bandwidth: 1})
+	g.SetEdge(graph.Edge{From: 2, To: 3, Volume: 8, Bandwidth: 1})
+	g.SetEdge(graph.Edge{From: 3, To: 4, Volume: 8, Bandwidth: 1})
+	return g
+}
+
+// stubResult builds a minimal encodable result.
+func stubResult(cost float64) *repro.Result {
+	rem := graph.New("stub-rem")
+	rem.AddNode(1)
+	rem.AddNode(2)
+	rem.SetEdge(graph.Edge{From: 1, To: 2, Volume: 8, Bandwidth: 1})
+	return &repro.Result{
+		Decomposition: &repro.Decomposition{Cost: cost, RemainderCost: cost, Remainder: rem},
+	}
+}
+
+// gatedSolver counts invocations and blocks each solve until released.
+type gatedSolver struct {
+	solves  atomic.Int64
+	started chan struct{} // receives one value per solve entering
+	release chan struct{} // closed (or fed) to let solves finish
+}
+
+func newGatedSolver() *gatedSolver {
+	return &gatedSolver{started: make(chan struct{}, 64), release: make(chan struct{})}
+}
+
+func (g *gatedSolver) solve(ctx context.Context, acg *graph.Graph, opts repro.Options) (*repro.Result, error) {
+	g.solves.Add(1)
+	g.started <- struct{}{}
+	select {
+	case <-g.release:
+		return stubResult(42), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func newStubService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(func() { s.Close(2 * time.Second) })
+	return s
+}
+
+// TestCoalescingSingleSolve is the core contract: N concurrent identical
+// submissions run exactly one solve, and every submitter observes the
+// same canonical bytes.
+func TestCoalescingSingleSolve(t *testing.T) {
+	solver := newGatedSolver()
+	s := newStubService(t, Config{Workers: 4, Solve: solver.solve})
+
+	first, path, err := s.Submit(Request{ACG: stubACG("co"), Wait: true})
+	if err != nil || path != "queued" {
+		t.Fatalf("first submit: path=%q err=%v", path, err)
+	}
+	<-solver.started // the solve is now in flight
+
+	const n = 16
+	jobs := make([]*Job, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job, p, err := s.Submit(Request{ACG: stubACG("co"), Wait: true})
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			if p != "coalesced" {
+				t.Errorf("submit %d: path %q, want coalesced", i, p)
+			}
+			jobs[i] = job
+		}(i)
+	}
+	wg.Wait()
+	close(solver.release)
+	if err := first.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	want := first.Encoded()
+	if len(want) == 0 {
+		t.Fatal("no encoded result")
+	}
+	for i, job := range jobs {
+		if job != first {
+			t.Fatalf("submission %d got a different job", i)
+		}
+		if !bytes.Equal(job.Encoded(), want) {
+			t.Fatalf("submission %d bytes differ", i)
+		}
+	}
+	if got := solver.solves.Load(); got != 1 {
+		t.Fatalf("solves = %d, want 1", got)
+	}
+	if got := s.Metrics.JobsCoalesced.Load(); got != n {
+		t.Fatalf("coalesced = %d, want %d", got, n)
+	}
+}
+
+// TestCacheHitServesStoredBytes checks the second identical submission
+// after completion is served from the store, byte-identical, without a
+// second solve.
+func TestCacheHitServesStoredBytes(t *testing.T) {
+	solver := newGatedSolver()
+	close(solver.release) // solves return immediately
+	s := newStubService(t, Config{Workers: 2, Solve: solver.solve})
+
+	j1, _, err := s.Submit(Request{ACG: stubACG("hit"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-solver.started
+
+	j2, path, err := s.Submit(Request{ACG: stubACG("hit"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "cache" {
+		t.Fatalf("second submit path %q, want cache", path)
+	}
+	if j2.State() != StateDone || !j2.FromCache() {
+		t.Fatalf("cached job state %q fromCache=%v", j2.State(), j2.FromCache())
+	}
+	if !bytes.Equal(j1.Encoded(), j2.Encoded()) {
+		t.Fatal("cached bytes differ from solved bytes")
+	}
+	if solver.solves.Load() != 1 {
+		t.Fatalf("solves = %d, want 1", solver.solves.Load())
+	}
+	if s.Metrics.CacheHits.Load() != 1 || s.Metrics.CacheMisses.Load() != 1 {
+		t.Fatalf("cache counters hits=%d misses=%d, want 1/1",
+			s.Metrics.CacheHits.Load(), s.Metrics.CacheMisses.Load())
+	}
+}
+
+// TestConcurrentSubmitStorm hammers Submit from many goroutines across a
+// handful of distinct graphs; the solver must run at most once per
+// distinct content address. Run with -race.
+func TestConcurrentSubmitStorm(t *testing.T) {
+	var solves atomic.Int64
+	slow := func(ctx context.Context, acg *graph.Graph, opts repro.Options) (*repro.Result, error) {
+		solves.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return stubResult(1), nil
+	}
+	s := newStubService(t, Config{Workers: 4, QueueDepth: 256, Solve: slow})
+
+	const goroutines = 32
+	const distinct = 4
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	jobs := make(chan *Job, goroutines*8)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				name := []string{"s0", "s1", "s2", "s3"}[(g+i)%distinct]
+				job, _, err := s.Submit(Request{ACG: stubACG(name), Wait: true})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				jobs <- job
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(jobs)
+	for job := range jobs {
+		if err := job.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if job.State() != StateDone {
+			t.Fatalf("job %s state %q", job.ID, job.State())
+		}
+	}
+	if failed.Load() > 0 {
+		t.Fatalf("%d submissions rejected with queue depth 256", failed.Load())
+	}
+	if got := solves.Load(); got > distinct {
+		t.Fatalf("solves = %d, want <= %d (one per distinct graph)", got, distinct)
+	}
+}
+
+// TestQueueFullRejects fills the queue behind a blocked worker and
+// expects ErrQueueFull, not blocking.
+func TestQueueFullRejects(t *testing.T) {
+	solver := newGatedSolver()
+	s := newStubService(t, Config{Workers: 1, QueueDepth: 1, Solve: solver.solve})
+	defer close(solver.release)
+
+	if _, _, err := s.Submit(Request{ACG: stubACG("q0")}); err != nil {
+		t.Fatal(err)
+	}
+	<-solver.started // worker busy
+	if _, _, err := s.Submit(Request{ACG: stubACG("q1")}); err != nil {
+		t.Fatal(err) // sits in the queue
+	}
+	_, _, err := s.Submit(Request{ACG: stubACG("q2")})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if s.Metrics.JobsRejected.Load() != 1 {
+		t.Fatalf("rejected = %d, want 1", s.Metrics.JobsRejected.Load())
+	}
+}
+
+// TestDrainCompletesBacklog verifies the shutdown contract: draining
+// refuses new work but completes everything queued and running.
+func TestDrainCompletesBacklog(t *testing.T) {
+	var solves atomic.Int64
+	slow := func(ctx context.Context, acg *graph.Graph, opts repro.Options) (*repro.Result, error) {
+		solves.Add(1)
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return stubResult(7), nil
+	}
+	s := New(Config{Workers: 2, QueueDepth: 16, Solve: slow})
+
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		job, _, err := s.Submit(Request{ACG: stubACG([]string{"d0", "d1", "d2", "d3", "d4", "d5"}[i])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, job := range jobs {
+		if job.State() != StateDone {
+			t.Fatalf("job %s dropped by drain: state %q err %q", job.ID, job.State(), job.Err())
+		}
+	}
+	if solves.Load() != 6 {
+		t.Fatalf("solves = %d, want 6", solves.Load())
+	}
+	if _, _, err := s.Submit(Request{ACG: stubACG("late")}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: %v, want ErrDraining", err)
+	}
+}
+
+// TestReleaseCancelsAbandonedJob: when every waiting client disconnects
+// from a coalesced solve nobody submitted asynchronously, the solve is
+// canceled.
+func TestReleaseCancelsAbandonedJob(t *testing.T) {
+	solver := newGatedSolver()
+	s := newStubService(t, Config{Workers: 1, Solve: solver.solve})
+
+	job, _, err := s.Submit(Request{ACG: stubACG("aband"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-solver.started
+	job.Release() // last waiter leaves -> ctx cancels -> solver returns ctx.Err()
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateCanceled {
+		t.Fatalf("state = %q, want canceled", job.State())
+	}
+	if s.Metrics.JobsCanceled.Load() != 1 {
+		t.Fatalf("canceled = %d, want 1", s.Metrics.JobsCanceled.Load())
+	}
+	// A detached submission must NOT be canceled by a waiter leaving.
+	job2, _, err := s.Submit(Request{ACG: stubACG("pinned")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-solver.started
+	_, path, err := s.Submit(Request{ACG: stubACG("pinned"), Wait: true})
+	if err != nil || path != "coalesced" {
+		t.Fatalf("coalesce onto pinned: path=%q err=%v", path, err)
+	}
+	job2.Release()
+	close(solver.release)
+	if err := job2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job2.State() != StateDone {
+		t.Fatalf("pinned job state = %q, want done", job2.State())
+	}
+
+	// The abandoned job must have been withdrawn from the in-flight
+	// index: a fresh identical submission starts a new solve instead of
+	// coalescing onto the canceled one.
+	job3, path, err := s.Submit(Request{ACG: stubACG("aband"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "queued" {
+		t.Fatalf("resubmission after abandon: path %q, want queued", path)
+	}
+	if err := job3.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job3.State() != StateDone {
+		t.Fatalf("resubmitted job state = %q, want done", job3.State())
+	}
+}
+
+// faultStore wraps a MemoryStore with switchable read/write faults.
+type faultStore struct {
+	inner   *MemoryStore
+	failGet bool
+	failPut bool
+}
+
+func (f *faultStore) Get(key string) ([]byte, bool, error) {
+	if f.failGet {
+		return nil, false, errors.New("injected read fault")
+	}
+	return f.inner.Get(key)
+}
+
+func (f *faultStore) Put(key string, val []byte) error {
+	if f.failPut {
+		return errors.New("injected write fault")
+	}
+	return f.inner.Put(key, val)
+}
+
+func (f *faultStore) Len() int     { return f.inner.Len() }
+func (f *faultStore) Close() error { return f.inner.Close() }
+
+// TestCacheWriteFaultKeepsResult: a failing store must not destroy a
+// completed solve — the waiters still get their bytes, the fault is
+// counted.
+func TestCacheWriteFaultKeepsResult(t *testing.T) {
+	solver := newGatedSolver()
+	close(solver.release)
+	s := newStubService(t, Config{Workers: 1, Solve: solver.solve, Store: &faultStore{inner: NewMemoryStore(0), failPut: true}})
+
+	job, _, err := s.Submit(Request{ACG: stubACG("wfault"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateDone || len(job.Encoded()) == 0 {
+		t.Fatalf("solve result lost to cache-write fault: state %q err %q", job.State(), job.Err())
+	}
+	if s.Metrics.StoreErrors.Load() != 1 {
+		t.Fatalf("store errors = %d, want 1", s.Metrics.StoreErrors.Load())
+	}
+}
+
+// TestCacheReadFaultIsServerError: a store read fault surfaces as
+// ErrStore, not as a plain (client-attributable) error.
+func TestCacheReadFaultIsServerError(t *testing.T) {
+	solver := newGatedSolver()
+	close(solver.release)
+	s := newStubService(t, Config{Workers: 1, Solve: solver.solve, Store: &faultStore{inner: NewMemoryStore(0), failGet: true}})
+
+	_, _, err := s.Submit(Request{ACG: stubACG("rfault"), Wait: true})
+	if !errors.Is(err, ErrStore) {
+		t.Fatalf("err = %v, want ErrStore", err)
+	}
+}
+
+// TestPartialResultsNotCached: a timed-out solve is returned to its
+// submitter but never stored as the canonical answer.
+func TestPartialResultsNotCached(t *testing.T) {
+	var solves atomic.Int64
+	partial := func(ctx context.Context, acg *graph.Graph, opts repro.Options) (*repro.Result, error) {
+		solves.Add(1)
+		res := stubResult(9)
+		res.Stats.TimedOut = true
+		return res, nil
+	}
+	s := newStubService(t, Config{Workers: 1, Solve: partial})
+
+	j1, _, err := s.Submit(Request{ACG: stubACG("part"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j1.State() != StateDone || len(j1.Encoded()) == 0 {
+		t.Fatalf("partial result not returned: state %q", j1.State())
+	}
+	if s.store.Len() != 0 {
+		t.Fatal("partial result was cached")
+	}
+	j2, path, err := s.Submit(Request{ACG: stubACG("part"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "queued" {
+		t.Fatalf("resubmit path %q, want queued (no cache line)", path)
+	}
+	if err := j2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if solves.Load() != 2 {
+		t.Fatalf("solves = %d, want 2", solves.Load())
+	}
+}
+
+// TestFailedSolveReported: solver errors surface as failed jobs.
+func TestFailedSolveReported(t *testing.T) {
+	boom := func(ctx context.Context, acg *graph.Graph, opts repro.Options) (*repro.Result, error) {
+		return nil, errors.New("no feasible decomposition")
+	}
+	s := newStubService(t, Config{Workers: 1, Solve: boom})
+	job, _, err := s.Submit(Request{ACG: stubACG("fail"), Wait: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if job.State() != StateFailed || job.Err() == "" {
+		t.Fatalf("state %q err %q", job.State(), job.Err())
+	}
+	if s.store.Len() != 0 {
+		t.Fatal("failed job cached")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	lib := repro.DefaultLibrary()
+	base := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks}, lib)
+
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks}, lib); k != base {
+		t.Fatal("identical submissions key differently")
+	}
+	if k := CacheKey(stubACG("k2"), repro.Options{Mode: repro.CostLinks}, lib); k == base {
+		t.Fatal("different graph, same key")
+	}
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostEnergy}, lib); k == base {
+		t.Fatal("different mode, same key")
+	}
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks, MatchLimit: 4}, lib); k == base {
+		t.Fatal("different match limit, same key")
+	}
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks, IsoTimeout: time.Second}, lib); k == base {
+		t.Fatal("different iso timeout, same key")
+	}
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks, Placement: repro.GridPlacement(4, 1, 1, 0.2)}, lib); k == base {
+		t.Fatal("different placement, same key")
+	}
+	// Deadline and parallelism do not change the answer and share lines.
+	if k := CacheKey(stubACG("k"), repro.Options{Mode: repro.CostLinks, Timeout: time.Minute, Parallelism: 7}, lib); k != base {
+		t.Fatal("timeout/parallelism should not change the key")
+	}
+}

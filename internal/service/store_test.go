@@ -1,0 +1,149 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+func TestMemoryStoreLRU(t *testing.T) {
+	s := NewMemoryStore(2)
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(s.Put("aa", []byte("1")))
+	check(s.Put("bb", []byte("2")))
+	if _, ok, _ := s.Get("aa"); !ok {
+		t.Fatal("aa missing")
+	}
+	// aa is now most recent; inserting cc must evict bb.
+	check(s.Put("cc", []byte("3")))
+	if _, ok, _ := s.Get("bb"); ok {
+		t.Fatal("bb should have been evicted")
+	}
+	if _, ok, _ := s.Get("aa"); !ok {
+		t.Fatal("aa should have survived")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// Overwrite keeps a single entry.
+	check(s.Put("aa", []byte("1b")))
+	if v, _, _ := s.Get("aa"); string(v) != "1b" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d, want 2", s.Len())
+	}
+}
+
+func TestMemoryStoreConcurrent(t *testing.T) {
+	s := NewMemoryStore(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("%02x", (g*7+i)%32)
+				s.Put(key, []byte(key))
+				s.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	s, err := NewDiskStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("deadbeef"); err != nil || ok {
+		t.Fatalf("empty store Get = ok=%v err=%v", ok, err)
+	}
+	val := []byte(`{"version":1}`)
+	if err := s.Put("deadbeef", val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("deadbeef")
+	if err != nil || !ok || !bytes.Equal(got, val) {
+		t.Fatalf("Get = %q ok=%v err=%v", got, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// Keys that are not canonical hex must never touch the filesystem.
+	for _, bad := range []string{"", "DEADBEEF", "../escape", "zz", "a/b"} {
+		if _, _, err := s.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted", bad)
+		}
+		if err := s.Put(bad, val); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDiskStoreSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s1, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("00ff", []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get("00ff")
+	if err != nil || !ok || string(got) != "persist" {
+		t.Fatalf("reopened Get = %q ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestTieredStoreFillsFront(t *testing.T) {
+	front := NewMemoryStore(4)
+	back := NewMemoryStore(4)
+	s := NewTieredStore(front, back)
+	if err := back.Put("abcd", []byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	if front.Len() != 0 {
+		t.Fatal("front should start cold")
+	}
+	got, ok, err := s.Get("abcd")
+	if err != nil || !ok || string(got) != "cold" {
+		t.Fatalf("tiered Get = %q ok=%v err=%v", got, ok, err)
+	}
+	if front.Len() != 1 {
+		t.Fatal("back hit did not fill front")
+	}
+	if err := s.Put("ef01", []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := back.Get("ef01"); !ok || string(v) != "hot" {
+		t.Fatal("Put did not reach the back store")
+	}
+}
+
+// TestTieredStoreFrontFaultStillHits: a back-store hit must survive a
+// failing front fill — the fill is best-effort.
+func TestTieredStoreFrontFaultStillHits(t *testing.T) {
+	back := NewMemoryStore(4)
+	if err := back.Put("abcd", []byte("cold")); err != nil {
+		t.Fatal(err)
+	}
+	s := NewTieredStore(&faultStore{inner: NewMemoryStore(4), failPut: true}, back)
+	got, ok, err := s.Get("abcd")
+	if err != nil || !ok || string(got) != "cold" {
+		t.Fatalf("tiered Get with faulty front = %q ok=%v err=%v", got, ok, err)
+	}
+}

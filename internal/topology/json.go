@@ -1,0 +1,71 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/floorplan"
+	"repro/internal/graph"
+)
+
+// jsonArch is the wire form of an Architecture. Links and preferred routes
+// are already deterministically ordered by the Links/PreferredPairs
+// accessors, so equal architectures encode to identical bytes.
+type jsonArch struct {
+	Name      string               `json:"name"`
+	Nodes     []graph.NodeID       `json:"nodes"`
+	Links     []jsonLink           `json:"links"`
+	Preferred [][]graph.NodeID     `json:"preferredRoutes,omitempty"`
+	Placement *floorplan.Placement `json:"placement,omitempty"`
+}
+
+type jsonLink struct {
+	A        graph.NodeID `json:"a"`
+	B        graph.NodeID `json:"b"`
+	LengthMM float64      `json:"lengthMM"`
+	Demand   float64      `json:"demandMbps"`
+}
+
+// MarshalJSON encodes the architecture deterministically.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	ja := jsonArch{Name: a.Name, Nodes: a.Nodes(), Placement: a.placement}
+	for _, l := range a.Links() {
+		ja.Links = append(ja.Links, jsonLink{A: l.A, B: l.B, LengthMM: l.LengthMM, Demand: l.DemandMbps})
+	}
+	for _, pair := range a.PreferredPairs() {
+		r, _ := a.PreferredRoute(pair[0], pair[1])
+		ja.Preferred = append(ja.Preferred, r)
+	}
+	return json.Marshal(ja)
+}
+
+// UnmarshalJSON decodes an architecture produced by MarshalJSON. Link
+// lengths are restored verbatim rather than re-derived from the placement,
+// so a round trip is exact even for hand-built architectures whose lengths
+// never came from a floorplan.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var ja jsonArch
+	if err := json.Unmarshal(data, &ja); err != nil {
+		return err
+	}
+	out := New(ja.Name, ja.Nodes, ja.Placement)
+	for _, l := range ja.Links {
+		if l.A >= l.B {
+			return fmt.Errorf("topology: link %d-%d not in canonical (A < B) order", l.A, l.B)
+		}
+		if _, dup := out.links[l.Key2()]; dup {
+			return fmt.Errorf("topology: duplicate link %d-%d", l.A, l.B)
+		}
+		out.links[l.Key2()] = &Link{A: l.A, B: l.B, LengthMM: l.LengthMM, DemandMbps: l.Demand}
+	}
+	for _, r := range ja.Preferred {
+		if err := out.SetPreferredRoute(r); err != nil {
+			return err
+		}
+	}
+	*a = *out
+	return nil
+}
+
+// Key2 returns the canonical endpoint pair of the wire link.
+func (l jsonLink) Key2() [2]graph.NodeID { return [2]graph.NodeID{l.A, l.B} }

@@ -103,6 +103,11 @@ type Options struct {
 	Constraints Constraints
 	// Timeout bounds the branch-and-bound search (0 = no limit).
 	Timeout time.Duration
+	// IsoTimeout bounds each isomorphism enumeration, the paper's
+	// mitigation for permutation blow-up on unmatchable inputs (0 = no
+	// limit). A truncated enumeration can change the result, so callers
+	// that memoize results must key on it.
+	IsoTimeout time.Duration
 	// MatchLimit widens the per-primitive branching (0 = paper default
 	// of one matching per primitive per level; negative = unlimited).
 	MatchLimit int
@@ -168,6 +173,7 @@ func SynthesizeContext(ctx context.Context, acg *Graph, opts Options) (*Result, 
 		Options: core.Options{
 			Mode:            opts.Mode,
 			Timeout:         opts.Timeout,
+			IsoTimeout:      opts.IsoTimeout,
 			MatchLimit:      opts.MatchLimit,
 			DisableBound:    opts.DisableBound,
 			Parallelism:     opts.Parallelism,

@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+// resultWireVersion tags the Result wire layout. DecodeResult rejects
+// other versions, so external caches (internal/service stores, files on
+// disk) miss cleanly instead of mis-decoding after a schema change.
+const resultWireVersion = 1
+
+// resultJSON is the deterministic wire form of a Result. Every map-backed
+// component (routing table, VC labels, architecture links, placement) is
+// flattened through the canonical encoders of its own package, so one
+// Result value always encodes to one byte string — the property the
+// synthesis service's content-addressed cache and its coalescing tests
+// rely on ("N identical submissions, byte-identical responses").
+type resultJSON struct {
+	Version       int               `json:"version"`
+	Decomposition decompositionJSON `json:"decomposition"`
+	Architecture  *Architecture     `json:"architecture"`
+	Routing       RoutingTable      `json:"routing"`
+	VCs           VCAssignment      `json:"vcs"`
+	Stats         core.Stats        `json:"stats"`
+}
+
+type decompositionJSON struct {
+	Cost          float64      `json:"cost"`
+	RemainderCost float64      `json:"remainderCost"`
+	Matches       []matchJSON  `json:"matches"`
+	Remainder     *graph.Graph `json:"remainder,omitempty"`
+}
+
+// matchJSON references the primitive by its library ID: the library is a
+// shared catalog on both sides of the wire, so shipping the full
+// representation/implementation graphs would only invite divergence.
+type matchJSON struct {
+	Primitive int               `json:"primitive"`
+	Depth     int               `json:"depth"`
+	Cost      float64           `json:"cost"`
+	Mapping   [][2]graph.NodeID `json:"mapping"`
+}
+
+// EncodeJSON marshals the result into its canonical wire form. The
+// encoding is deterministic: equal results produce byte-identical output.
+func (r *Result) EncodeJSON() ([]byte, error) {
+	if r == nil || r.Decomposition == nil {
+		return nil, fmt.Errorf("repro: cannot encode nil result or decomposition")
+	}
+	w := resultJSON{
+		Version: resultWireVersion,
+		Decomposition: decompositionJSON{
+			Cost:          r.Decomposition.Cost,
+			RemainderCost: r.Decomposition.RemainderCost,
+			Matches:       make([]matchJSON, 0, len(r.Decomposition.Matches)),
+			Remainder:     r.Decomposition.Remainder,
+		},
+		Architecture: r.Architecture,
+		Routing:      r.Routing,
+		VCs:          r.VCs,
+		Stats:        r.Stats,
+	}
+	for _, m := range r.Decomposition.Matches {
+		if m.Primitive == nil {
+			return nil, fmt.Errorf("repro: match with nil primitive")
+		}
+		w.Decomposition.Matches = append(w.Decomposition.Matches, matchJSON{
+			Primitive: m.Primitive.ID,
+			Depth:     m.Depth,
+			Cost:      m.Cost,
+			Mapping:   m.Mapping.Pairs(),
+		})
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	// Keep "<" and friends literal: the wire form is a machine artifact,
+	// and escaping would make the bytes depend on encoder defaults.
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(w); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// DecodeResult unmarshals a Result previously produced by EncodeJSON.
+// Primitive references are resolved against lib (nil means the default
+// library); decoding fails if a referenced primitive ID is absent, so a
+// result can never silently bind to the wrong catalog entry.
+func DecodeResult(data []byte, lib *Library) (*Result, error) {
+	if lib == nil {
+		lib = DefaultLibrary()
+	}
+	var w resultJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("repro: decoding result: %w", err)
+	}
+	if w.Version != resultWireVersion {
+		return nil, fmt.Errorf("repro: result wire version %d, want %d", w.Version, resultWireVersion)
+	}
+	d := &Decomposition{
+		Cost:          w.Decomposition.Cost,
+		RemainderCost: w.Decomposition.RemainderCost,
+		Remainder:     w.Decomposition.Remainder,
+	}
+	for _, m := range w.Decomposition.Matches {
+		p := lib.ByID(m.Primitive)
+		if p == nil {
+			return nil, fmt.Errorf("repro: result references primitive %d not in library", m.Primitive)
+		}
+		mapping := make(iso.Mapping, len(m.Mapping))
+		for _, pair := range m.Mapping {
+			mapping[pair[0]] = pair[1]
+		}
+		d.Matches = append(d.Matches, Match{Primitive: p, Mapping: mapping, Cost: m.Cost, Depth: m.Depth})
+	}
+	return &Result{
+		Decomposition: d,
+		Architecture:  w.Architecture,
+		Routing:       w.Routing,
+		VCs:           w.VCs,
+		Stats:         w.Stats,
+	}, nil
+}

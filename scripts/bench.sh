@@ -1,39 +1,32 @@
 #!/usr/bin/env bash
 # Benchmark recorder: runs the perf-trajectory benchmark set (solver,
-# VF2, NoC simulator) and writes a JSON record. EXPERIMENTS.md documents
-# the before/after numbers of each PR; CI uploads the file as an
-# artifact so the trajectory keeps being recorded.
+# VF2, NoC simulator, synthesis-service path) and writes a JSON record.
+# EXPERIMENTS.md documents the before/after numbers of each PR; CI
+# uploads the file as an artifact so the trajectory keeps being recorded.
 #
 # Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr3.json}"
 benchtime="${2:-5x}"
 
 raw=$(go test -run '^$' \
     -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh' \
     -benchmem -benchtime "$benchtime" .)
 
-echo "$raw" >&2
+# Service-path trajectory: the cold (cache-miss, real solve) and hot
+# (content-addressed cache hit) sides of the PR 3 synthesis daemon. The
+# ratio between the two is the amortization the service layer buys.
+raw_service=$(go test -run '^$' \
+    -bench 'BenchmarkServiceColdSolve|BenchmarkServiceCacheHit' \
+    -benchmem -benchtime "$benchtime" ./internal/service)
 
-{
-    echo '{'
-    echo '  "suite": "solver+vf2+nocsim hot paths",'
-    echo "  \"benchtime\": \"$benchtime\","
-    # Pre-refactor reference (PR 1 map-of-maps substrate, Intel Xeon @
-    # 2.10 GHz): the fixed "before" side of the PR 2 CSR comparison
-    # documented in EXPERIMENTS.md.
-    cat <<'EOF'
-  "baseline_pr1": [
-    {"name": "BenchmarkSolverParallelism/workers-1", "ns_per_op": 5752080, "bytes_per_op": 3067024, "allocs_per_op": 65240},
-    {"name": "BenchmarkVF2GossipInAES", "ns_per_op": 125264, "bytes_per_op": 41400, "allocs_per_op": 713},
-    {"name": "BenchmarkFig6_AESDecomposition", "ns_per_op": 452328488, "bytes_per_op": 222970344, "allocs_per_op": 4547859},
-    {"name": "BenchmarkTableAES_Mesh", "ns_per_op": 4213063, "bytes_per_op": 507856, "allocs_per_op": 20949}
-  ],
-EOF
-    echo '  "results": ['
-    echo "$raw" | awk '
+echo "$raw" >&2
+echo "$raw_service" >&2
+
+tojson() {
+    awk '
         /^Benchmark/ {
             name = $1
             ns = ""; bytes = ""; allocs = ""
@@ -48,6 +41,28 @@ EOF
                 name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
         }
         END { printf "\n" }'
+}
+
+{
+    echo '{'
+    echo '  "suite": "solver+vf2+nocsim hot paths + service path",'
+    echo "  \"benchtime\": \"$benchtime\","
+    # Pre-refactor reference (PR 1 map-of-maps substrate, Intel Xeon @
+    # 2.10 GHz): the fixed "before" side of the PR 2 CSR comparison
+    # documented in EXPERIMENTS.md.
+    cat <<'EOF'
+  "baseline_pr1": [
+    {"name": "BenchmarkSolverParallelism/workers-1", "ns_per_op": 5752080, "bytes_per_op": 3067024, "allocs_per_op": 65240},
+    {"name": "BenchmarkVF2GossipInAES", "ns_per_op": 125264, "bytes_per_op": 41400, "allocs_per_op": 713},
+    {"name": "BenchmarkFig6_AESDecomposition", "ns_per_op": 452328488, "bytes_per_op": 222970344, "allocs_per_op": 4547859},
+    {"name": "BenchmarkTableAES_Mesh", "ns_per_op": 4213063, "bytes_per_op": 507856, "allocs_per_op": 20949}
+  ],
+EOF
+    echo '  "results": ['
+    echo "$raw" | tojson
+    echo '  ],'
+    echo '  "service_results": ['
+    echo "$raw_service" | tojson
     echo '  ]'
     echo '}'
 } > "$out"

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# nocserve smoke test: build the daemon, start it, submit the AES ACG,
+# poll the job to completion, fetch the result by content address, check
+# that a second submission is a cache hit, then SIGTERM and verify a
+# clean drain. CI runs this after the tier-1 gate; it needs only bash,
+# curl and the go toolchain.
+#
+# Usage: scripts/smoke_nocserve.sh [PORT]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+port="${1:-18080}"
+base="http://127.0.0.1:${port}"
+work="$(pwd)/tmp-smoke"
+rm -rf "$work"
+mkdir -p "$work"
+
+cleanup() {
+    [ -n "${server_pid:-}" ] && kill -9 "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== build =="
+go build -o "$work/nocserve" ./cmd/nocserve
+go build -o "$work/experiments" ./cmd/experiments
+
+echo "== start daemon =="
+"$work/nocserve" -addr "127.0.0.1:${port}" -cache-dir "$work/cache" \
+    -drain-timeout 60s >"$work/nocserve.log" 2>&1 &
+server_pid=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "$base/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "smoke: daemon died at startup" >&2
+        cat "$work/nocserve.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+curl -sf "$base/healthz" >/dev/null || { echo "smoke: daemon never became healthy" >&2; exit 1; }
+
+echo "== submit AES ACG =="
+"$work/experiments" -dumpacg aes -out "$work/aes.json"
+printf '{"graph": %s, "options": {"mode": "links", "grid": [16,1,1,0.2], "timeoutMs": 60000}}' \
+    "$(cat "$work/aes.json")" > "$work/request.json"
+
+submit=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$work/request.json" "$base/v1/synthesize")
+echo "submit: $submit"
+job_id=$(printf '%s' "$submit" | sed -n 's/.*"jobId":"\([^"]*\)".*/\1/p')
+key=$(printf '%s' "$submit" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$job_id" ] && [ -n "$key" ] || { echo "smoke: bad submit response" >&2; exit 1; }
+
+echo "== poll job $job_id =="
+state=""
+for i in $(seq 1 300); do
+    status=$(curl -sf "$base/v1/jobs/$job_id")
+    state=$(printf '%s' "$status" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$state" = "done" ] && break
+    case "$state" in failed|canceled) echo "smoke: job $state: $status" >&2; exit 1;; esac
+    sleep 0.2
+done
+[ "$state" = "done" ] || { echo "smoke: job never finished (state=$state)" >&2; exit 1; }
+echo "status: $status"
+printf '%s' "$status" | grep -q '"cost":28' \
+    || { echo "smoke: AES link cost is not the paper's 28" >&2; exit 1; }
+
+echo "== fetch result by content address =="
+curl -sf "$base/v1/results/$key" > "$work/result.json"
+grep -q '"version":1' "$work/result.json" || { echo "smoke: bad result payload" >&2; exit 1; }
+
+echo "== second submission must be a cache hit =="
+second=$(curl -sf -D "$work/headers" -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$work/request.json" "$base/v1/synthesize?wait=1")
+grep -qi '^X-Nocserve-Path: cache' "$work/headers" \
+    || { echo "smoke: second submission was not served from cache" >&2; cat "$work/headers" >&2; exit 1; }
+printf '%s' "$second" | cmp -s - "$work/result.json" \
+    || { echo "smoke: cached bytes differ from stored result" >&2; exit 1; }
+
+echo "== metrics =="
+curl -sf "$base/metrics" | grep -E 'nocserve_(solves_total|cache_hits_total) ' | tee "$work/metrics.txt"
+grep -q '^nocserve_solves_total 1$' "$work/metrics.txt" \
+    || { echo "smoke: expected exactly one solve" >&2; exit 1; }
+
+echo "== SIGTERM drain =="
+kill -TERM "$server_pid"
+drain_ok=0
+for i in $(seq 1 100); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then drain_ok=1; break; fi
+    sleep 0.2
+done
+[ "$drain_ok" = 1 ] || { echo "smoke: daemon did not exit after SIGTERM" >&2; exit 1; }
+wait "$server_pid" 2>/dev/null || { echo "smoke: daemon exited non-zero" >&2; cat "$work/nocserve.log" >&2; exit 1; }
+grep -q 'drained cleanly' "$work/nocserve.log" \
+    || { echo "smoke: no clean-drain marker in log" >&2; cat "$work/nocserve.log" >&2; exit 1; }
+server_pid=""
+
+echo "smoke: OK"
