@@ -13,6 +13,7 @@ package repro
 //	Ablation* — bounding on/off, library order, match cap
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -160,6 +161,42 @@ func BenchmarkTableAES_Custom(b *testing.B) {
 		b.ReportMetric(cmp.ThroughputMbps, "Mbps")
 		b.ReportMetric(cmp.AvgLatency, "lat-cycles")
 		b.ReportMetric(cmp.EnergyPerBlock*1e6, "pJ/block")
+	}
+}
+
+// BenchmarkSweepUniformMesh times one three-point saturation sweep of
+// the 4x4 evaluation mesh under uniform traffic (short windows): the
+// per-characterization cost of the PR 4 workload subsystem, and the
+// inner loop of `experiments -batch -sweeppatterns`.
+func BenchmarkSweepUniformMesh(b *testing.B) {
+	cfg := DefaultNetworkConfig()
+	newNet := func() (*noc.Network, error) {
+		net, _, err := MeshNetwork(4, 4, nil, cfg)
+		return net, err
+	}
+	pat, err := noc.NewPattern("uniform", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := noc.Sweep(context.Background(), newNet, noc.SweepConfig{
+			Pattern:       pat,
+			Bits:          128,
+			Rates:         []float64{0.02, 0.1, 0.3},
+			WarmupCycles:  300,
+			MeasureCycles: 1500,
+			Seed:          1,
+			Parallelism:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Saturated {
+			b.Fatal("mesh did not saturate at rate 0.3")
+		}
+		b.ReportMetric(res.SaturationRate, "sat-rate")
+		b.ReportMetric(res.Points[0].AvgLatency, "lat0-cycles")
 	}
 }
 

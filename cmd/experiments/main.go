@@ -30,6 +30,16 @@
 //
 //	experiments -batch -serve-url http://localhost:8080
 //
+// With -sweeppatterns every feasible batch scenario's synthesized
+// architecture is additionally stress-characterized: each named traffic
+// pattern (or "all") is driven across a short injection-rate ladder on
+// the customized topology, and the per-pattern saturation point,
+// zero-load latency and peak accepted throughput ride along in the JSON
+// record — the closed loop synthesize -> simulate -> saturation curve.
+//
+//	experiments -batch -sweeppatterns uniform,transpose
+//	experiments -batch -sweeppatterns all
+//
 // -dumpacg writes one scenario's ACG as nocsynth/nocserve-compatible
 // JSON to -out ("aes", "fig5", or "tgff:<nodes>:<seed>"), for feeding
 // the other tools:
@@ -68,6 +78,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/tgff"
+	"repro/internal/topology"
 
 	repro "repro"
 )
@@ -84,6 +95,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "branch-and-bound workers per solve in -batch mode")
 	serveURL := flag.String("serve-url", "", "drive a running nocserve daemon instead of solving in-process (-batch mode)")
 	dumpACG := flag.String("dumpacg", "", "write one scenario ACG as JSON to -out: aes, fig5, or tgff:<nodes>:<seed>")
+	sweepPatterns := flag.String("sweeppatterns", "", "stress-characterize every synthesized batch architecture under these comma-separated traffic patterns (\"all\" = every built-in pattern)")
 	flag.Parse()
 
 	// Every mode shares one signal-bound context: Ctrl-C cancels the
@@ -103,7 +115,9 @@ func main() {
 		return
 	}
 	if *batch {
-		runBatch(ctx, *out, *workers, *parallel, *seeds, *serveURL)
+		patterns, err := parseSweepPatterns(*sweepPatterns)
+		check(err)
+		runBatch(ctx, *out, *workers, *parallel, *seeds, *serveURL, patterns)
 		return
 	}
 	if *all {
@@ -488,6 +502,9 @@ type batchResult struct {
 	// coalesced, cache).
 	ServeKey  string `json:"serveKey,omitempty"`
 	ServePath string `json:"servePath,omitempty"`
+	// Sweeps stress-characterizes the synthesized architecture per
+	// traffic pattern (-sweeppatterns).
+	Sweeps []archSweep `json:"sweeps,omitempty"`
 }
 
 // batchScenarios assembles the sweep: the Figure 4a TGFF range, the Figure
@@ -559,11 +576,95 @@ func batchScenarios(seeds, parallel int) []scenario {
 	return out
 }
 
+// parseSweepPatterns expands the -sweeppatterns flag: empty disables the
+// per-architecture traffic sweeps, "all" selects every built-in pattern,
+// otherwise a comma-separated subset of noc.PatternNames.
+func parseSweepPatterns(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if spec == "all" {
+		return noc.PatternNames(), nil
+	}
+	known := make(map[string]bool)
+	for _, n := range noc.PatternNames() {
+		known[n] = true
+	}
+	var out []string
+	for _, f := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(f)
+		if !known[name] {
+			return nil, fmt.Errorf("unknown sweep pattern %q (want \"all\" or a subset of %s)",
+				name, strings.Join(noc.PatternNames(), ", "))
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// archSweep is the per-pattern stress summary attached to a batch record
+// when -sweeppatterns is set: the saturation point of the synthesized
+// architecture under that traffic pattern, plus the curve's two
+// endpoints (zero-load latency, peak accepted throughput).
+type archSweep struct {
+	Pattern         string  `json:"pattern"`
+	Saturated       bool    `json:"saturated"`
+	SaturationRate  float64 `json:"saturationRate"`
+	ZeroLoadLatency float64 `json:"zeroLoadLatency"`
+	PeakAccepted    float64 `json:"peakAccepted"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// batchSweepRates is the short ladder the batch runner drives over every
+// synthesized architecture — four points spanning well under to well
+// over typical wormhole saturation.
+var batchSweepRates = []float64{0.02, 0.06, 0.12, 0.25}
+
+// sweepArchitecture runs the pattern sweeps over one synthesized
+// architecture. Per-pattern failures are recorded, not fatal: a batch
+// row with a broken sweep still carries its synthesis result.
+func sweepArchitecture(ctx context.Context, arch *topology.Architecture, table routing.Table, vcs routing.VCAssignment, patterns []string, seed int64) []archSweep {
+	cfg := noc.DefaultConfig()
+	newNet := func() (*noc.Network, error) { return noc.New(cfg, arch, table, vcs) }
+	out := make([]archSweep, 0, len(patterns))
+	for _, name := range patterns {
+		rec := archSweep{Pattern: name}
+		p, err := noc.NewPattern(name, len(arch.Nodes()))
+		if err == nil {
+			var res *noc.SweepResult
+			res, err = noc.Sweep(ctx, newNet, noc.SweepConfig{
+				Pattern:       p,
+				Bits:          128,
+				Rates:         batchSweepRates,
+				WarmupCycles:  300,
+				MeasureCycles: 1500,
+				Seed:          seed,
+				Parallelism:   1, // scenarios already fan out across workers
+			})
+			if err == nil {
+				rec.Saturated = res.Saturated
+				rec.SaturationRate = res.SaturationRate
+				rec.ZeroLoadLatency = res.Points[0].AvgLatency
+				for _, pt := range res.Points {
+					if pt.Accepted > rec.PeakAccepted {
+						rec.PeakAccepted = pt.Accepted
+					}
+				}
+			}
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 // runBatch sweeps all scenarios across a pool of goroutines and writes the
 // JSON records. Ctrl-C cancels the remaining solves; completed records are
 // still written. With serveURL the sweep is delegated to a nocserve
 // daemon, one HTTP submission per scenario.
-func runBatch(ctx context.Context, out string, workers, parallel, seeds int, serveURL string) {
+func runBatch(ctx context.Context, out string, workers, parallel, seeds int, serveURL string, sweepPatterns []string) {
 	// Open the sink before sweeping so a bad path fails in milliseconds,
 	// not after minutes of solving.
 	sink := os.Stdout
@@ -605,9 +706,9 @@ func runBatch(ctx context.Context, out string, workers, parallel, seeds int, ser
 					return
 				}
 				if serveURL != "" {
-					results[i] = runScenarioRemote(ctx, serveURL, scenarios[i])
+					results[i] = runScenarioRemote(ctx, serveURL, scenarios[i], sweepPatterns)
 				} else {
-					results[i] = runScenario(ctx, scenarios[i])
+					results[i] = runScenario(ctx, scenarios[i], sweepPatterns)
 				}
 				mu.Lock()
 				done++
@@ -631,13 +732,14 @@ func runBatch(ctx context.Context, out string, workers, parallel, seeds int, ser
 	}
 }
 
-func runScenario(ctx context.Context, sc scenario) batchResult {
+func runScenario(ctx context.Context, sc scenario, sweepPatterns []string) batchResult {
 	r := batchResult{scenario: sc}
+	placement := floorplan.Grid(sc.acg.NodeCount(), 1, 1, 0.2)
 	start := time.Now()
 	res, err := core.SolveContext(ctx, core.Problem{
 		ACG:       sc.acg,
 		Library:   primitives.MustDefault(),
-		Placement: floorplan.Grid(sc.acg.NodeCount(), 1, 1, 0.2),
+		Placement: placement,
 		Energy:    energy.Tech180,
 		Options:   sc.opts,
 	})
@@ -658,8 +760,30 @@ func runScenario(ctx context.Context, sc scenario) batchResult {
 		r.Cost = res.Best.Cost
 		r.Matches = len(res.Best.Matches)
 		r.RemainderEdges = res.Best.Remainder.EdgeCount()
+		if len(sweepPatterns) > 0 {
+			r.Sweeps = sweepSolvedScenario(ctx, sc, res.Best, placement, sweepPatterns)
+		}
 	}
 	return r
+}
+
+// sweepSolvedScenario glues the solver's decomposition into its
+// customized architecture (the same composition SynthesizeContext
+// performs) and stress-characterizes it under the requested patterns.
+func sweepSolvedScenario(ctx context.Context, sc scenario, best *core.Decomposition, placement *floorplan.Placement, patterns []string) []archSweep {
+	arch, err := topology.FromDecomposition(sc.acg.Name()+"-custom", sc.acg, best, placement)
+	if err != nil {
+		return []archSweep{{Error: err.Error()}}
+	}
+	table, err := routing.Build(arch)
+	if err != nil {
+		return []archSweep{{Error: err.Error()}}
+	}
+	vcs, err := routing.AssignVirtualChannels(table, arch, nil)
+	if err != nil {
+		return []archSweep{{Error: err.Error()}}
+	}
+	return sweepArchitecture(ctx, arch, table, vcs, patterns, sc.Seed)
 }
 
 // runScenarioRemote submits one scenario to a nocserve daemon and blocks
@@ -667,7 +791,7 @@ func runScenario(ctx context.Context, sc scenario) batchResult {
 // addressing, coalescing and the result cache. The daemon's answer is
 // decoded with the same codec the daemon encoded with, so a corrupt or
 // version-skewed response fails loudly rather than producing a bogus row.
-func runScenarioRemote(ctx context.Context, serveURL string, sc scenario) batchResult {
+func runScenarioRemote(ctx context.Context, serveURL string, sc scenario, sweepPatterns []string) batchResult {
 	r := batchResult{scenario: sc}
 	body, err := json.Marshal(service.SynthesizeRequest{
 		Graph: sc.acg,
@@ -728,6 +852,11 @@ func runScenarioRemote(ctx context.Context, serveURL string, sc scenario) batchR
 	r.SolverWorkers = res.Stats.Workers
 	r.TimedOut = res.Stats.TimedOut
 	r.Canceled = res.Stats.Canceled
+	// The decoded result carries the daemon's architecture, routing table
+	// and VC assignment — sweep the served topology directly.
+	if len(sweepPatterns) > 0 {
+		r.Sweeps = sweepArchitecture(ctx, res.Architecture, res.Routing, res.VCs, sweepPatterns, sc.Seed)
+	}
 	return r
 }
 

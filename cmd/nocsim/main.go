@@ -2,10 +2,24 @@
 // traffic over either a standard mesh or a synthesized customized
 // architecture, reporting latency, throughput, activity and energy.
 //
-// Usage:
+// Single-run mode injects one pattern at one rate:
 //
 //	nocsim -mesh 4x4 -packets 500 -bits 128 -rate 0.02 [-tech 180nm]
-//	nocsim -acg app.json -packets 500 -bits 128 -rate 0.02
+//	nocsim -acg app.json -pattern transpose -packets 500 -rate 0.02
+//
+// Sweep mode characterizes the architecture's latency-throughput curve:
+// the pattern is driven across an ascending injection-rate ladder, each
+// rate on a fresh network with warmup-cycle discard and batch-means
+// confidence intervals, and the offered-vs-accepted divergence point
+// (saturation) is detected and reported as JSON:
+//
+//	nocsim -mesh 4x4 -sweep -pattern uniform -seed 1
+//	nocsim -mesh 4x4 -sweep -pattern hotspot -hotspots 0,5 -hotfrac 0.6
+//	nocsim -acg app.json -sweep -rates 0.01,0.05,0.1 -out curve.json
+//
+// Patterns: uniform, transpose, bitcomp, bitrev, shuffle, neighbor,
+// hotspot. -burst layers an on/off Markov-modulated arrival process over
+// any of them. Both modes are deterministic for a fixed -seed.
 package main
 
 import (
@@ -16,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/energy"
@@ -28,14 +44,31 @@ import (
 func main() {
 	mesh := flag.String("mesh", "", "mesh dimensions RxC (e.g. 4x4)")
 	acgPath := flag.String("acg", "", "ACG JSON to synthesize a custom architecture from")
-	packets := flag.Int("packets", 500, "number of packets to inject")
+	packets := flag.Int("packets", 500, "number of packets to inject (single-run mode)")
 	bits := flag.Int("bits", 128, "packet payload size in bits")
-	rate := flag.Float64("rate", 0.02, "injection rate (packets per node per cycle)")
+	rate := flag.Float64("rate", 0.02, "injection rate (packets per node per cycle, single-run mode)")
 	seed := flag.Int64("seed", 1, "traffic seed")
 	tech := flag.String("tech", "180nm", "technology profile for energy reporting")
 	flitBits := flag.Int("flits", 32, "link width in bits")
 	traceIn := flag.String("tracein", "", "replay a JSON trace file instead of generating traffic")
 	traceOut := flag.String("traceout", "", "save the generated traffic trace to a JSON file")
+
+	pattern := flag.String("pattern", "uniform", "spatial traffic pattern: "+strings.Join(noc.PatternNames(), ", "))
+	hotspots := flag.String("hotspots", "0", "hotspot pattern: comma-separated node ranks")
+	hotfrac := flag.Float64("hotfrac", 0.5, "hotspot pattern: fraction of traffic aimed at the hotspots")
+	burst := flag.Float64("burst", 0, "mean burst length in cycles for on/off modulated arrivals (0 = smooth)")
+	burstOn := flag.Float64("burston", 0.25, "long-run ON fraction of the bursty arrival process")
+
+	sweep := flag.Bool("sweep", false, "run a saturation sweep across an injection-rate ladder, emit JSON")
+	rates := flag.String("rates", "", "sweep: explicit comma-separated rate ladder (overrides -ratemin/-ratemax/-ratesteps)")
+	rateMin := flag.Float64("ratemin", 0.01, "sweep: lowest rate of the generated ladder")
+	rateMax := flag.Float64("ratemax", 0.3, "sweep: highest rate of the generated ladder")
+	rateSteps := flag.Int("ratesteps", 8, "sweep: number of rates in the generated ladder")
+	warmup := flag.Int64("warmup", 1000, "sweep: warmup cycles discarded before measurement")
+	measure := flag.Int64("measure", 5000, "sweep: measurement-window cycles per rate")
+	batches := flag.Int("batches", 10, "sweep: batch count for the latency confidence interval")
+	parallel := flag.Int("parallel", 1, "sweep: rate points simulated concurrently (0 = all CPUs; result is identical)")
+	out := flag.String("out", "-", "sweep: JSON output path (\"-\" = stdout)")
 	flag.Parse()
 
 	// Ctrl-C cancels the synthesis search and the simulation gracefully
@@ -54,16 +87,19 @@ func main() {
 	cfg := noc.DefaultConfig()
 	cfg.FlitBits = *flitBits
 
-	var net *noc.Network
+	// newNet builds a cold simulator over the selected architecture; the
+	// sweep harness calls it once per rate point.
+	var newNet func() (*noc.Network, error)
 	switch {
 	case *mesh != "":
 		var rows, cols int
 		if _, err := fmt.Sscanf(*mesh, "%dx%d", &rows, &cols); err != nil {
 			check(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
 		}
-		n, _, err := repro.MeshNetwork(rows, cols, nil, cfg)
-		check(err)
-		net = n
+		newNet = func() (*noc.Network, error) {
+			n, _, err := repro.MeshNetwork(rows, cols, nil, cfg)
+			return n, err
+		}
 	case *acgPath != "":
 		data, err := os.ReadFile(*acgPath)
 		check(err)
@@ -71,12 +107,63 @@ func main() {
 		check(json.Unmarshal(data, &acg))
 		res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{Timeout: 60 * time.Second})
 		check(err)
-		n, err := res.NewNetwork(cfg)
-		check(err)
-		net = n
+		newNet = func() (*noc.Network, error) { return res.NewNetwork(cfg) }
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	net, err := newNet()
+	check(err)
+
+	spec := *pattern
+	if spec == "hotspot" {
+		spec = fmt.Sprintf("hotspot:%s:%g", *hotspots, *hotfrac)
+	}
+	pat, err := noc.NewPattern(spec, len(net.Nodes()))
+	check(err)
+	var burstCfg *noc.BurstConfig
+	if *burst > 0 {
+		burstCfg = &noc.BurstConfig{AvgBurstCycles: *burst, OnFraction: *burstOn}
+	}
+
+	if *sweep {
+		ladder, err := rateLadder(*rates, *rateMin, *rateMax, *rateSteps)
+		check(err)
+		res, err := noc.Sweep(ctx, newNet, noc.SweepConfig{
+			Pattern:       pat,
+			Bits:          *bits,
+			Rates:         ladder,
+			WarmupCycles:  *warmup,
+			MeasureCycles: *measure,
+			Batches:       *batches,
+			Seed:          *seed,
+			Burst:         burstCfg,
+			Parallelism:   *parallel,
+		})
+		check(err)
+		sink := os.Stdout
+		if *out != "-" && *out != "" {
+			f, err := os.Create(*out)
+			check(err)
+			sink = f
+		}
+		check(res.EncodeJSON(sink))
+		if sink != os.Stdout {
+			check(sink.Close())
+		}
+		for _, pt := range res.Points {
+			fmt.Fprintf(os.Stderr, "nocsim: rate %.4f offered %.4f accepted %.4f latency %.2f±%.2f%s\n",
+				pt.Rate, pt.Offered, pt.Accepted, pt.AvgLatency, pt.LatencyCI95,
+				map[bool]string{true: "  SATURATED"}[pt.Saturated])
+		}
+		if res.Saturated {
+			fmt.Fprintf(os.Stderr, "nocsim: %s saturates at offered rate %g packets/node/cycle\n",
+				res.Pattern, res.SaturationRate)
+		} else {
+			fmt.Fprintf(os.Stderr, "nocsim: %s did not saturate within the ladder\n", res.Pattern)
+		}
+		return
 	}
 
 	var trace noc.Trace
@@ -87,7 +174,33 @@ func main() {
 		f.Close()
 		check(err)
 	} else {
-		trace = noc.UniformRandomTrace(net.Nodes(), *packets, *bits, *rate, *seed)
+		// Generate an open-loop schedule long enough to carry -packets at
+		// the configured rate, then truncate to exactly -packets events.
+		// The horizon is bounded like UniformRandomTrace's: a degenerate
+		// -rate must fail fast, not spin for ~packets/rate cycles.
+		if *rate <= 0 || *rate > 1 {
+			check(fmt.Errorf("-rate %g outside (0, 1]", *rate))
+		}
+		span := float64(*packets) / (*rate * float64(len(net.Nodes())))
+		if span > float64(noc.MaxTraceCycles) {
+			check(fmt.Errorf("-rate %g too low to carry %d packets within %d cycles",
+				*rate, *packets, noc.MaxTraceCycles))
+		}
+		horizon := int64(span) + 1000
+		trace, err = noc.GenerateTrace(pat, noc.TrafficConfig{
+			Nodes: net.Nodes(),
+			Bits:  *bits,
+			Rate:  *rate,
+			Seed:  *seed,
+			Burst: burstCfg,
+		}, horizon)
+		check(err)
+		if len(trace) > *packets {
+			trace = trace[:*packets]
+		}
+		if len(trace) == 0 {
+			check(fmt.Errorf("pattern %s generated no traffic (every source idle?)", pat.Name()))
+		}
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -111,6 +224,30 @@ func main() {
 	fmt.Printf("energy: %.3f uJ total (%.3f dynamic + %.3f static)\n",
 		net.EnergyPJ(em)*1e-6, net.DynamicEnergyPJ(em)*1e-6, net.StaticEnergyPJ(em)*1e-6)
 	fmt.Printf("average power: %.1f mW (%s)\n", net.AveragePowerMW(em), em.Name)
+}
+
+// rateLadder parses -rates or generates the linear -ratemin..-ratemax
+// ladder.
+func rateLadder(spec string, min, max float64, steps int) ([]float64, error) {
+	if spec != "" {
+		var out []float64
+		for _, f := range strings.Split(spec, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -rates entry %q: %v", f, err)
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	if steps < 2 || min <= 0 || max <= min {
+		return nil, fmt.Errorf("bad ladder: min %g max %g steps %d", min, max, steps)
+	}
+	out := make([]float64, steps)
+	for i := range out {
+		out[i] = min + (max-min)*float64(i)/float64(steps-1)
+	}
+	return out, nil
 }
 
 func check(err error) {

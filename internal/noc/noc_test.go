@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -285,6 +286,27 @@ func TestUniformRandomTraceProperties(t *testing.T) {
 	}
 	if UniformRandomTrace(nodes[:1], 10, 64, 0.1, 1) != nil {
 		t.Fatal("degenerate node set should yield nil")
+	}
+}
+
+// TestUniformRandomTraceDegenerateRate pins the fix for the near-infinite
+// cycle loop: a vanishingly small rate must return nil promptly instead
+// of spinning for ~count/rate iterations.
+func TestUniformRandomTraceDegenerateRate(t *testing.T) {
+	nodes := graph.Range(1, 8)
+	done := make(chan Trace, 1)
+	go func() { done <- UniformRandomTrace(nodes, 100, 64, 1e-12, 1) }()
+	select {
+	case tr := <-done:
+		if tr != nil {
+			t.Fatalf("degenerate rate produced a %d-event trace", len(tr))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("UniformRandomTrace hung on rate 1e-12")
+	}
+	// A rate just above the horizon bound still works.
+	if tr := UniformRandomTrace(nodes, 10, 64, 0.001, 1); len(tr) != 10 {
+		t.Fatalf("small-but-sane rate yielded %d events", len(tr))
 	}
 }
 

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -75,6 +76,18 @@ func (s *Stats) recordDelivery(p *Packet) {
 	}
 }
 
+// MinLatency returns the smallest delivered-packet latency in cycles, 0
+// when nothing was delivered. Prefer this over reading the LatencyMin
+// field: before the first delivery the field holds the max-int64
+// accumulator sentinel (snapshots normalize it away, but live Stats
+// values expose it).
+func (s Stats) MinLatency() int64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.LatencyMin
+}
+
 // AvgLatency returns the mean packet latency in cycles (0 if nothing was
 // delivered).
 func (s Stats) AvgLatency() float64 {
@@ -141,9 +154,12 @@ func (s Stats) MaxLinkUtilization(cycles int64) ([2]graph.NodeID, float64) {
 	return bestKey, best
 }
 
-// snapshot deep-copies the maps so callers cannot alias live state.
+// snapshot deep-copies the maps so callers cannot alias live state, and
+// normalizes the LatencyMin accumulator sentinel so a zero-delivery
+// snapshot reports 0 (not 1<<63-1) through field reads and JSON dumps.
 func (s Stats) snapshot() Stats {
 	out := s
+	out.LatencyMin = s.MinLatency()
 	out.SwitchTraversals = make(map[graph.NodeID]int64, len(s.SwitchTraversals))
 	for k, v := range s.SwitchTraversals {
 		out.SwitchTraversals[k] = v
@@ -157,6 +173,49 @@ func (s Stats) snapshot() Stats {
 		out.ByTag[k] = v
 	}
 	return out
+}
+
+// statsJSON is the one-way wire form of Stats: the array-keyed link map
+// becomes "from->to" string keys (JSON objects cannot key on arrays) and
+// LatencyMin is normalized through MinLatency so a zero-delivery dump
+// reports 0 rather than the accumulator sentinel.
+type statsJSON struct {
+	Injected         int64               `json:"injected"`
+	Delivered        int64               `json:"delivered"`
+	DeliveredBits    int64               `json:"deliveredBits"`
+	LatencySum       int64               `json:"latencySum"`
+	LatencyMax       int64               `json:"latencyMax"`
+	LatencyMin       int64               `json:"latencyMin"`
+	SwitchTraversals map[string]int64    `json:"switchTraversals,omitempty"`
+	LinkTraversals   map[string]int64    `json:"linkTraversals,omitempty"`
+	ByTag            map[string]TagStats `json:"byTag,omitempty"`
+}
+
+// MarshalJSON renders the statistics as JSON (deterministically: Go
+// sorts string map keys).
+func (s Stats) MarshalJSON() ([]byte, error) {
+	out := statsJSON{
+		Injected:      s.Injected,
+		Delivered:     s.Delivered,
+		DeliveredBits: s.DeliveredBits,
+		LatencySum:    s.LatencySum,
+		LatencyMax:    s.LatencyMax,
+		LatencyMin:    s.MinLatency(),
+		ByTag:         s.ByTag,
+	}
+	if len(s.SwitchTraversals) > 0 {
+		out.SwitchTraversals = make(map[string]int64, len(s.SwitchTraversals))
+		for k, v := range s.SwitchTraversals {
+			out.SwitchTraversals[fmt.Sprintf("%d", k)] = v
+		}
+	}
+	if len(s.LinkTraversals) > 0 {
+		out.LinkTraversals = make(map[string]int64, len(s.LinkTraversals))
+		for k, v := range s.LinkTraversals {
+			out.LinkTraversals[fmt.Sprintf("%d->%d", k[0], k[1])] = v
+		}
+	}
+	return json.Marshal(out)
 }
 
 // Describe renders the statistics deterministically.

@@ -1,9 +1,44 @@
 package noc
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+// TestLatencyMinZeroDelivery pins the sentinel-leak fix: a network that
+// delivered nothing must report LatencyMin 0 through the accessor, the
+// snapshot's field, and a JSON dump — not the 1<<63-1 accumulator
+// initializer.
+func TestLatencyMinZeroDelivery(t *testing.T) {
+	n := meshNet(t, 2, 2, DefaultConfig())
+	st := n.Stats()
+	if st.Delivered != 0 {
+		t.Fatalf("delivered = %d", st.Delivered)
+	}
+	if got := st.MinLatency(); got != 0 {
+		t.Fatalf("MinLatency() = %d", got)
+	}
+	if st.LatencyMin != 0 {
+		t.Fatalf("snapshot LatencyMin = %d, want 0", st.LatencyMin)
+	}
+	enc, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "9223372036854775807") {
+		t.Fatalf("sentinel leaked into JSON: %s", enc)
+	}
+	// After a delivery the real minimum comes through both paths.
+	n.Inject(1, 4, 32, "")
+	if !n.RunUntilDrained(1000) {
+		t.Fatal("did not drain")
+	}
+	st = n.Stats()
+	if st.MinLatency() <= 0 || st.LatencyMin != st.MinLatency() {
+		t.Fatalf("post-delivery min = %d / %d", st.MinLatency(), st.LatencyMin)
+	}
+}
 
 func TestStatsByTag(t *testing.T) {
 	n := meshNet(t, 2, 2, DefaultConfig())

@@ -1,0 +1,283 @@
+package noc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// SweepConfig parameterizes an open-loop injection-rate sweep: the same
+// spatial pattern driven across an ascending rate ladder, each rate on a
+// fresh network, with the standard warmup-discard methodology and
+// batch-means confidence intervals over the measured latencies.
+type SweepConfig struct {
+	// Pattern is the spatial pattern, built for the network's node count.
+	Pattern *Pattern
+	// Bits is the packet payload size.
+	Bits int
+	// Rates is the offered-load ladder in packets per node per cycle; it
+	// must be strictly ascending (the monotone ladder the latency-
+	// throughput curve is defined over).
+	Rates []float64
+	// WarmupCycles are simulated then discarded before measurement starts
+	// (transient removal).
+	WarmupCycles int64
+	// MeasureCycles is the measurement-window length.
+	MeasureCycles int64
+	// Batches is the batch count for the batch-means 95% confidence
+	// interval over per-packet latency (default 10).
+	Batches int
+	// Seed makes the whole sweep deterministic; each rate point derives
+	// its own generator seed from it, independent of evaluation order.
+	Seed int64
+	// Burst optionally layers the on/off arrival modulation over the
+	// pattern at every rate.
+	Burst *BurstConfig
+	// Parallelism is the number of rate points simulated concurrently
+	// (0 = GOMAXPROCS, 1 = serial). Points are independent simulations,
+	// so the result is identical at every setting.
+	Parallelism int
+	// SaturationThreshold is the accepted/offered throughput ratio below
+	// which a point counts as saturated (default 0.9): past saturation an
+	// open-loop network cannot eject packets as fast as the sources offer
+	// them, so the two curves diverge.
+	SaturationThreshold float64
+}
+
+// RatePoint is the measurement at one offered load.
+type RatePoint struct {
+	// Rate is the configured injection rate (packets per node per cycle).
+	Rate float64 `json:"rate"`
+	// Offered is the realized offered load in the measurement window:
+	// generated packets per node per cycle.
+	Offered float64 `json:"offered"`
+	// Accepted is the delivered throughput in the window: ejected packets
+	// per node per cycle.
+	Accepted float64 `json:"accepted"`
+	// AvgLatency is the batch-means estimate of mean packet latency
+	// (cycles) over deliveries in the window; LatencyCI95 is the Student-t
+	// 95% confidence half-width over the batch means.
+	AvgLatency  float64 `json:"avgLatency"`
+	LatencyCI95 float64 `json:"latencyCI95"`
+	// MinLatency/MaxLatency/P50Latency/P99Latency summarize the window's
+	// latency distribution.
+	MinLatency int64   `json:"minLatency"`
+	MaxLatency int64   `json:"maxLatency"`
+	P50Latency float64 `json:"p50Latency"`
+	P99Latency float64 `json:"p99Latency"`
+	// Injected counts packets generated in the window; Delivered counts
+	// packets ejected in it.
+	Injected  int64 `json:"injected"`
+	Delivered int64 `json:"delivered"`
+	// MeasuredCycles is the window length (echoed for self-description).
+	MeasuredCycles int64 `json:"measuredCycles"`
+	// Saturated marks offered-vs-accepted divergence at this point.
+	Saturated bool `json:"saturated"`
+}
+
+// SweepResult is the full latency-throughput characterization of one
+// (architecture, pattern) pair.
+type SweepResult struct {
+	Pattern       string      `json:"pattern"`
+	Nodes         int         `json:"nodes"`
+	Bits          int         `json:"bits"`
+	Seed          int64       `json:"seed"`
+	WarmupCycles  int64       `json:"warmupCycles"`
+	MeasureCycles int64       `json:"measureCycles"`
+	Points        []RatePoint `json:"points"`
+	// Saturated reports whether the ladder reached saturation;
+	// SaturationRate is the lowest configured rate whose point diverged
+	// (0 when the ladder never saturates).
+	Saturated      bool    `json:"saturated"`
+	SaturationRate float64 `json:"saturationRate"`
+}
+
+// EncodeJSON writes the canonical indented JSON form of the result. The
+// sweep is deterministic end to end, so the bytes are identical for a
+// fixed (network, config) across runs and Parallelism settings.
+func (r *SweepResult) EncodeJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+func (c *SweepConfig) validate() error {
+	if c.Pattern == nil {
+		return fmt.Errorf("noc: sweep needs a pattern")
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("noc: sweep needs a rate ladder")
+	}
+	for i, r := range c.Rates {
+		if r <= 0 || r > 1 {
+			return fmt.Errorf("noc: sweep rate %g outside (0, 1]", r)
+		}
+		if i > 0 && r <= c.Rates[i-1] {
+			return fmt.Errorf("noc: rate ladder not strictly ascending at %g", r)
+		}
+	}
+	if c.Bits <= 0 {
+		return fmt.Errorf("noc: sweep packet bits %d", c.Bits)
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 {
+		return fmt.Errorf("noc: sweep windows warmup=%d measure=%d", c.WarmupCycles, c.MeasureCycles)
+	}
+	return nil
+}
+
+// pointSeed derives the per-rate-point generator seed: a fixed mix of
+// the sweep seed and the point index, so a point's schedule does not
+// depend on which worker simulates it or in what order.
+func pointSeed(seed int64, i int) int64 {
+	return int64(uint64(seed) + uint64(i)*0x9E3779B97F4A7C15)
+}
+
+// Sweep runs the rate ladder. newNet must build a fresh, cold network
+// over the same architecture on every call (each rate point starts from
+// empty buffers); Sweep calls it once per rate, possibly concurrently.
+func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 10
+	}
+	if cfg.SaturationThreshold <= 0 || cfg.SaturationThreshold >= 1 {
+		cfg.SaturationThreshold = 0.9
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfg.Rates) {
+		workers = len(cfg.Rates)
+	}
+
+	points := make([]RatePoint, len(cfg.Rates))
+	errs := make([]error, len(cfg.Rates))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(cfg.Rates) {
+					return
+				}
+				points[i], errs[i] = sweepPoint(ctx, newNet, cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SweepResult{
+		Pattern:       cfg.Pattern.Name(),
+		Nodes:         cfg.Pattern.n,
+		Bits:          cfg.Bits,
+		Seed:          cfg.Seed,
+		WarmupCycles:  cfg.WarmupCycles,
+		MeasureCycles: cfg.MeasureCycles,
+		Points:        points,
+	}
+	for _, pt := range points {
+		if pt.Saturated {
+			res.Saturated = true
+			res.SaturationRate = pt.Rate
+			break
+		}
+	}
+	return res, nil
+}
+
+// sweepPoint simulates one rate of the ladder: generate the open-loop
+// schedule over warmup+measure cycles, run the warmup with statistics
+// discarded at its end (ResetStats), then measure.
+func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig, i int) (RatePoint, error) {
+	pt := RatePoint{Rate: cfg.Rates[i], MeasuredCycles: cfg.MeasureCycles}
+	net, err := newNet()
+	if err != nil {
+		return pt, err
+	}
+	if net.Cycle() != 0 || net.Pending() != 0 {
+		return pt, fmt.Errorf("noc: sweep network factory returned a warm network")
+	}
+	horizon := cfg.WarmupCycles + cfg.MeasureCycles
+	trace, err := GenerateTrace(cfg.Pattern, TrafficConfig{
+		Nodes: net.Nodes(),
+		Bits:  cfg.Bits,
+		Rate:  cfg.Rates[i],
+		Seed:  pointSeed(cfg.Seed, i),
+		Burst: cfg.Burst,
+	}, horizon)
+	if err != nil {
+		return pt, err
+	}
+	for _, ev := range trace {
+		if ev.Cycle >= cfg.WarmupCycles {
+			pt.Injected++
+		}
+	}
+
+	var lats []float64
+	ti := 0
+	for net.cycle < horizon {
+		if net.cycle == cfg.WarmupCycles {
+			net.ResetStats()
+			net.OnEject(func(p *Packet) { lats = append(lats, float64(p.Latency())) })
+		}
+		for ti < len(trace) && trace[ti].Cycle <= net.cycle {
+			ev := trace[ti]
+			if _, err := net.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil {
+				return pt, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
+			}
+			ti++
+		}
+		net.Step()
+		if net.cycle&ctxCheckMask == 0 {
+			select {
+			case <-ctx.Done():
+				return pt, ctx.Err()
+			default:
+			}
+		}
+	}
+
+	st := net.Stats()
+	n := float64(len(net.Nodes()))
+	window := float64(cfg.MeasureCycles)
+	pt.Offered = float64(pt.Injected) / (n * window)
+	pt.Delivered = st.Delivered
+	pt.Accepted = float64(st.Delivered) / (n * window)
+	pt.AvgLatency, pt.LatencyCI95 = stats.BatchMeans(lats, cfg.Batches)
+	pt.MinLatency = st.MinLatency()
+	pt.MaxLatency = st.LatencyMax
+	if len(lats) > 0 {
+		s := append([]float64(nil), lats...)
+		sort.Float64s(s)
+		pt.P50Latency = s[len(s)/2]
+		pt.P99Latency = s[(len(s)*99)/100]
+	}
+	// Saturation: the accepted curve falls measurably short of the
+	// offered one (or nothing is delivered at all while load is offered).
+	pt.Saturated = pt.Offered > 0 &&
+		(pt.Delivered == 0 || pt.Accepted < cfg.SaturationThreshold*pt.Offered)
+	return pt, nil
+}

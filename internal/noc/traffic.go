@@ -128,11 +128,25 @@ func (n *Network) ReplayWithContext(ctx context.Context, trace Trace, drainLimit
 	return nil
 }
 
+// MaxTraceCycles bounds the schedule horizon a single generated trace
+// may span. A degenerate injection rate (e.g. 1e-12 packets/node/cycle)
+// would otherwise spin the cycle loop for ~count/rate iterations — weeks
+// of wall time — before producing its packets. Drivers computing their
+// own horizons (cmd/nocsim) apply the same bound.
+const MaxTraceCycles = int64(100_000_000)
+
 // UniformRandomTrace generates count packets of the given size at the
 // given injection rate (packets per node per cycle) with uniformly random
 // sources and destinations. Deterministic for a fixed seed.
+//
+// It returns nil for degenerate inputs: fewer than two nodes, a
+// nonpositive count, a nonpositive rate, or a rate so low that the
+// schedule would span more than MaxTraceCycles (1e8) cycles.
 func UniformRandomTrace(nodes []graph.NodeID, count, bits int, ratePerNodePerCycle float64, seed int64) Trace {
 	if len(nodes) < 2 || count <= 0 || ratePerNodePerCycle <= 0 {
+		return nil
+	}
+	if float64(count)/(ratePerNodePerCycle*float64(len(nodes))) > float64(MaxTraceCycles) {
 		return nil
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -156,9 +170,12 @@ func UniformRandomTrace(nodes []graph.NodeID, count, bits int, ratePerNodePerCyc
 	return trace
 }
 
-// PermutationTrace sends one packet from every node to a fixed permutation
-// partner (bit-reversal style shuffle over the sorted node order), all at
-// cycle zero — a classic stress pattern.
+// PermutationTrace sends one packet from every node to a fixed
+// permutation partner — the half-rotation (i + n/2) mod n over the
+// sorted node order, i.e. the transpose-style bisection stress pattern —
+// all at cycle zero. (An earlier doc claimed a "bit-reversal style
+// shuffle"; the code always implemented the half-rotation, which now
+// lives on as TransposePattern. True bit reversal is BitReversalPattern.)
 func PermutationTrace(nodes []graph.NodeID, bits int) Trace {
 	n := len(nodes)
 	if n < 2 {

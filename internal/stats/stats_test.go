@@ -43,6 +43,64 @@ func TestMinMaxMedian(t *testing.T) {
 	}
 }
 
+func TestTCritical95(t *testing.T) {
+	if TCritical95(0) != 0 {
+		t.Fatal("dof 0 should yield 0")
+	}
+	if got := TCritical95(1); math.Abs(got-12.706) > 1e-9 {
+		t.Fatalf("t(1) = %g", got)
+	}
+	if got := TCritical95(9); math.Abs(got-2.262) > 1e-9 {
+		t.Fatalf("t(9) = %g", got)
+	}
+	if got := TCritical95(1000); got != 1.96 {
+		t.Fatalf("t(1000) = %g", got)
+	}
+	// Critical values shrink toward the normal limit (flat once past the
+	// table).
+	for dof := 2; dof <= 40; dof++ {
+		if TCritical95(dof) > TCritical95(dof-1) {
+			t.Fatalf("t increased at dof %d", dof)
+		}
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	if m, hw := BatchMeans(nil, 10); m != 0 || hw != 0 {
+		t.Fatal("empty input")
+	}
+	// A constant series has zero-width CI at its value.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 7
+	}
+	if m, hw := BatchMeans(xs, 10); m != 7 || hw != 0 {
+		t.Fatalf("constant series: mean %g hw %g", m, hw)
+	}
+	// The grand mean of full batches matches the plain mean, and the CI
+	// is positive for a non-constant series.
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		ys = append(ys, float64(i%10))
+	}
+	m, hw := BatchMeans(ys, 10)
+	if math.Abs(m-Mean(ys)) > 1e-9 {
+		t.Fatalf("batch mean %g vs mean %g", m, Mean(ys))
+	}
+	if hw < 0 {
+		t.Fatalf("negative halfwidth %g", hw)
+	}
+	// More batches than samples degrades gracefully to per-sample batches.
+	m, _ = BatchMeans([]float64{1, 3}, 50)
+	if m != 2 {
+		t.Fatalf("tiny-sample mean %g", m)
+	}
+	// A single batch yields the mean with no interval.
+	if m, hw := BatchMeans(ys, 1); math.Abs(m-Mean(ys)) > 1e-9 || hw != 0 {
+		t.Fatalf("single batch: %g %g", m, hw)
+	}
+}
+
 func TestSeriesRendering(t *testing.T) {
 	s := Series{Name: "fig4a", XLabel: "nodes", YLabel: "seconds"}
 	s.Add(5, 0.01)

@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
 # Benchmark recorder: runs the perf-trajectory benchmark set (solver,
-# VF2, NoC simulator, synthesis-service path) and writes a JSON record.
-# EXPERIMENTS.md documents the before/after numbers of each PR; CI
-# uploads the file as an artifact so the trajectory keeps being recorded.
+# VF2, NoC simulator, synthesis-service path, traffic sweep) and writes
+# a JSON record. EXPERIMENTS.md documents the before/after numbers of
+# each PR; CI uploads the file as an artifact so the trajectory keeps
+# being recorded.
 #
 # Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 benchtime="${2:-5x}"
 
 raw=$(go test -run '^$' \
-    -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh' \
+    -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh|BenchmarkSweepUniformMesh' \
     -benchmem -benchtime "$benchtime" .)
 
 # Service-path trajectory: the cold (cache-miss, real solve) and hot
@@ -24,6 +25,14 @@ raw_service=$(go test -run '^$' \
 
 echo "$raw" >&2
 echo "$raw_service" >&2
+
+# Workload trajectory (PR 4): the measured saturation point of the AES
+# evaluation mesh under uniform traffic — the repo's first closed
+# synthesize -> simulate -> saturation-curve loop. Deterministic for the
+# fixed seed, so drift in this number means the simulator changed.
+sweep_json=$(mktemp)
+go run ./cmd/nocsim -mesh 4x4 -sweep -pattern uniform -seed 1 \
+    -warmup 1000 -measure 5000 -parallel 0 -out "$sweep_json" 2>&1 | tail -1 >&2
 
 tojson() {
     awk '
@@ -45,7 +54,7 @@ tojson() {
 
 {
     echo '{'
-    echo '  "suite": "solver+vf2+nocsim hot paths + service path",'
+    echo '  "suite": "solver+vf2+nocsim hot paths + service path + saturation sweep",'
     echo "  \"benchtime\": \"$benchtime\","
     # Pre-refactor reference (PR 1 map-of-maps substrate, Intel Xeon @
     # 2.10 GHz): the fixed "before" side of the PR 2 CSR comparison
@@ -63,8 +72,11 @@ EOF
     echo '  ],'
     echo '  "service_results": ['
     echo "$raw_service" | tojson
-    echo '  ]'
+    echo '  ],'
+    echo '  "saturation_sweep_mesh4x4_uniform":'
+    sed 's/^/  /' "$sweep_json"
     echo '}'
 } > "$out"
+rm -f "$sweep_json"
 
 echo "bench: wrote $out" >&2
