@@ -200,6 +200,89 @@ func BenchmarkSweepUniformMesh(b *testing.B) {
 	}
 }
 
+// BenchmarkStepIdle measures the cost of advancing a fully idle network
+// one cycle — the regime of the zero-load-latency sweep points, where
+// nearly every cycle moves nothing. The activity-driven kernel steps an
+// idle network in O(1) (empty worklists, one wheel-bucket probe); the
+// pre-kernel simulator scanned every router, port and VC (709.6 ns/op on
+// this 4x4 mesh at the PR 5 seed).
+func BenchmarkStepIdle(b *testing.B) {
+	newNet, _, err := MeshNetworkFactory(4, 4, nil, DefaultNetworkConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := newNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkInjectRouted measures the steady-state inject+simulate path:
+// one packet resolved through the compiled routing table, simulated to
+// delivery, its storage recycled through the packet arena. The PR 5
+// acceptance bar is ~0 allocs/op (the seed kernel spent 46 allocs and
+// 1400 B per packet on route/VC/slot slices and the packet itself).
+func BenchmarkInjectRouted(b *testing.B) {
+	newNet, _, err := MeshNetworkFactory(4, 4, nil, DefaultNetworkConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := newNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetPacketRecycling(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Inject(1, 16, 128, ""); err != nil {
+			b.Fatal(err)
+		}
+		if !net.RunUntilDrained(1000) {
+			b.Fatal("no drain")
+		}
+	}
+}
+
+// BenchmarkSweepReset measures one warm rate point: Reset a reused
+// network and replay a fixed 400-cycle uniform schedule on it — the
+// inner loop of the sweep harness after the per-worker network reuse
+// (the seed harness rebuilt architecture, routing and wiring per point).
+func BenchmarkSweepReset(b *testing.B) {
+	newNet, _, err := MeshNetworkFactory(4, 4, nil, DefaultNetworkConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := newNet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.SetPacketRecycling(true)
+	pat, err := noc.NewPattern("uniform", 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace, err := noc.GenerateTrace(pat, noc.TrafficConfig{
+		Nodes: net.Nodes(), Bits: 128, Rate: 0.05, Seed: 1,
+	}, 400)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Reset()
+		if err := net.Replay(trace, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationBounding quantifies the Figure 3 lower-bound pruning:
 // the same AES instance with and without the bound.
 func BenchmarkAblationBounding(b *testing.B) {

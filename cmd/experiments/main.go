@@ -625,7 +625,12 @@ var batchSweepRates = []float64{0.02, 0.06, 0.12, 0.25}
 // row with a broken sweep still carries its synthesis result.
 func sweepArchitecture(ctx context.Context, arch *topology.Architecture, table routing.Table, vcs routing.VCAssignment, patterns []string, seed int64) []archSweep {
 	cfg := noc.DefaultConfig()
-	newNet := func() (*noc.Network, error) { return noc.New(cfg, arch, table, vcs) }
+	// One compiled routing table serves every pattern's sweep networks.
+	ct, err := routing.CompileTable(table, arch, vcs)
+	if err != nil {
+		return []archSweep{{Error: err.Error()}}
+	}
+	newNet := func() (*noc.Network, error) { return noc.NewCompiled(cfg, arch, ct) }
 	out := make([]archSweep, 0, len(patterns))
 	for _, name := range patterns {
 		rec := archSweep{Pattern: name}

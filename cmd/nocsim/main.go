@@ -9,9 +9,10 @@
 //
 // Sweep mode characterizes the architecture's latency-throughput curve:
 // the pattern is driven across an ascending injection-rate ladder, each
-// rate on a fresh network with warmup-cycle discard and batch-means
-// confidence intervals, and the offered-vs-accepted divergence point
-// (saturation) is detected and reported as JSON:
+// rate on a cold network (one reused, Reset network per parallel
+// worker) with warmup-cycle discard and batch-means confidence
+// intervals, and the offered-vs-accepted divergence point (saturation)
+// is detected and reported as JSON:
 //
 //	nocsim -mesh 4x4 -sweep -pattern uniform -seed 1
 //	nocsim -mesh 4x4 -sweep -pattern hotspot -hotspots 0,5 -hotfrac 0.6
@@ -88,7 +89,9 @@ func main() {
 	cfg.FlitBits = *flitBits
 
 	// newNet builds a cold simulator over the selected architecture; the
-	// sweep harness calls it once per rate point.
+	// sweep harness calls it once per worker and rewinds it between rate
+	// points, and every network it returns shares one compiled routing
+	// table (built here, once).
 	var newNet func() (*noc.Network, error)
 	switch {
 	case *mesh != "":
@@ -96,10 +99,9 @@ func main() {
 		if _, err := fmt.Sscanf(*mesh, "%dx%d", &rows, &cols); err != nil {
 			check(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
 		}
-		newNet = func() (*noc.Network, error) {
-			n, _, err := repro.MeshNetwork(rows, cols, nil, cfg)
-			return n, err
-		}
+		factory, _, err := repro.MeshNetworkFactory(rows, cols, nil, cfg)
+		check(err)
+		newNet = factory
 	case *acgPath != "":
 		data, err := os.ReadFile(*acgPath)
 		check(err)

@@ -24,16 +24,34 @@
 //     tail. Credits return to the upstream router when a flit leaves an
 //     input buffer.
 //
-// The router and link wiring is built once from a frozen CSR view
-// (graph.Frozen) of the architecture graph: routers live in a slice
-// indexed by dense node index, ports in slices indexed by neighbor slot,
-// and every packet's route is resolved to indices and output slots at
-// injection — the per-cycle loops perform no map lookups, no sorting and
-// no string formatting.
+// The kernel is allocation-free and activity-driven:
+//
+//   - Per-VC input FIFOs are fixed-capacity ring buffers (capacity is
+//     BufferFlits, enforced by credits), allocated once at build time.
+//   - Packets come from a pooled arena with freelist reuse (opt-in via
+//     SetPacketRecycling), and Inject resolves routes through a
+//     routing.CompiledTable — dense per-(src,dst) route/VC/out-slot plans
+//     computed once per table — so steady-state injection performs no
+//     route walks, slice copies or heap allocation.
+//   - Flits in flight live on a timing wheel indexed by arrival cycle
+//     (the link+pipeline delay is a config constant), so delivery costs
+//     O(arrivals this cycle), not O(all flits in flight).
+//   - Switch allocation walks an active-router worklist — only routers
+//     with buffered flits arbitrate — so a cycle costs O(routers with
+//     work), and an idle network steps in O(1).
+//
+// Network.Reset rewinds a built network to its cold post-construction
+// state (cycle 0, empty buffers, full credits, zeroed statistics) without
+// rebuilding the wiring, which is how the sweep harness reuses one
+// network per worker across rate points. All of this is behavior
+// preserving: the golden tests pin simulated results byte for byte
+// against the pre-kernel simulator.
 package noc
 
 import (
 	"fmt"
+	"math"
+	"slices"
 
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -87,18 +105,31 @@ type Packet struct {
 	Payload interface{}
 
 	// InjectCycle is when the packet entered the source queue; EjectCycle
-	// when its tail flit left the network at the destination.
+	// when its tail flit left the network at the destination (zero while
+	// the packet is still in flight).
 	InjectCycle int64
 	EjectCycle  int64
 
-	route []graph.NodeID
-	vcs   []int // virtual channel at each route position
-
-	// outSlot[h] is the output-port slot a flit occupying route[h]
-	// requests (the slot of route[h+1] at route[h]'s router, or the local
-	// ejection slot at the destination), resolved once at injection so
-	// the per-cycle path is pure array indexing.
+	// route, vcs and outSlot are read-only views of the packet's plan:
+	// either shared slices of the network's compiled routing table
+	// (Inject) or the packet's own buffers (InjectRouted). outSlot[h] is
+	// the output-port slot a flit occupying route[h] requests (the slot
+	// of route[h+1] at route[h]'s router, or the local ejection slot at
+	// the destination).
+	route   []graph.NodeID
+	vcs     []int
 	outSlot []int32
+
+	// ownRoute/ownVCs/ownSlot are the packet's reusable backing buffers
+	// for explicitly routed injections; the arena retains their capacity
+	// across recycles.
+	ownRoute []graph.NodeID
+	ownVCs   []int
+	ownSlot  []int32
+
+	// arenaIdx is the packet's slot in Network.pktSlots while in flight;
+	// flits refer to their packet through it.
+	arenaIdx int32
 
 	flits    int
 	injected int // flits handed to the local input port so far
@@ -109,31 +140,145 @@ func (p *Packet) Route() []graph.NodeID {
 	return append([]graph.NodeID(nil), p.route...)
 }
 
-// Latency returns the packet's in-network latency in cycles.
-func (p *Packet) Latency() int64 { return p.EjectCycle - p.InjectCycle }
+// Latency returns the packet's in-network latency in cycles, or -1 while
+// the packet is still in flight (its tail flit has not ejected yet, so
+// EjectCycle is unset). Delivered packets always report a positive
+// latency: ejection happens no earlier than the cycle after injection.
+func (p *Packet) Latency() int64 {
+	if p.EjectCycle == 0 {
+		return -1
+	}
+	return p.EjectCycle - p.InjectCycle
+}
 
-// flit is the unit of flow control.
+// flit is the unit of flow control. It refers to its packet by arena
+// slot index (see Network.pktSlots) and carries its plan-derived routing
+// state denormalized at creation time — the hop, the VC it occupies, the
+// output slot it requests and the VC of the next hop are all invariant
+// while the flit sits in a buffer. A flit is therefore pointer-free:
+// rings and timing-wheel buckets copy and clear plain words with no GC
+// write barriers, and arbitration reads the flit alone without touching
+// the packet. The zero flit has pktIdx 0, which is never a live slot.
 type flit struct {
-	pkt    *Packet
+	// pktIdx is the packet's arena slot in Network.pktSlots (0 = none).
+	pktIdx int32
+	// hop is the index into the packet's route of the router the flit
+	// currently sits in (or travels toward).
+	hop int16
+	// want is the output-port slot the flit requests at its hop's router:
+	// outSlot[hop] (the final plan entry is the destination's local
+	// ejection slot, so no special case is needed).
+	want int16
+	// vc is the virtual channel the flit occupies at this hop
+	// (vcs[hop]); nextVC is the VC of the following hop, which governs
+	// the downstream buffer credits are charged against (0 at the
+	// destination, where it is unused).
+	vc     int16
+	nextVC int16
 	isHead bool
 	isTail bool
-	// hop is the index into pkt.route of the router the flit currently
-	// sits in (or travels toward).
-	hop int
 }
 
-// vcOf returns the statically assigned virtual channel for this flit's
-// current hop.
-func (n *Network) vcOf(f flit) int {
-	if f.hop >= len(f.pkt.vcs) {
-		return 0
+// flitAt builds the denormalized flit for packet p at the given hop.
+func flitAt(p *Packet, hop int16, isHead, isTail bool) flit {
+	f := flit{
+		pktIdx: p.arenaIdx,
+		hop:    hop,
+		want:   int16(p.outSlot[hop]),
+		vc:     int16(p.vcs[hop]),
+		isHead: isHead,
+		isTail: isTail,
 	}
-	return f.pkt.vcs[f.hop]
+	if int(hop)+1 < len(p.vcs) {
+		f.nextVC = int16(p.vcs[hop+1])
+	}
+	return f
 }
 
-// inputPort is one router ingress with per-VC FIFOs.
+// flitRing is a fixed-capacity FIFO of flits — one per (input port, VC).
+// Capacity is BufferFlits; credits guarantee it never overflows. pop
+// zeroes the vacated slot so a drained network retains no packet
+// references through ring backing arrays.
+type flitRing struct {
+	buf  []flit
+	head int32
+	n    int32
+}
+
+func (q *flitRing) peek() *flit { return &q.buf[q.head] }
+
+func (q *flitRing) push(f flit) {
+	tail := q.head + q.n
+	if tail >= int32(len(q.buf)) {
+		tail -= int32(len(q.buf))
+	}
+	q.buf[tail] = f
+	q.n++
+}
+
+func (q *flitRing) pop() flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = flit{}
+	q.head++
+	if q.head == int32(len(q.buf)) {
+		q.head = 0
+	}
+	q.n--
+	return f
+}
+
+func (q *flitRing) reset() {
+	clear(q.buf)
+	q.head, q.n = 0, 0
+}
+
+// pktRing is a growable FIFO of packets — the per-router NI source queue.
+// pop nils the vacated slot, fixing the historical head-drop leak where
+// delivered packets stayed reachable through the queue's backing array.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+func (q *pktRing) peek() *Packet { return q.buf[q.head] }
+
+func (q *pktRing) push(p *Packet) {
+	if q.n == len(q.buf) {
+		grown := make([]*Packet, max(2*len(q.buf), 8))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktRing) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+func (q *pktRing) reset() {
+	clear(q.buf)
+	q.head, q.n = 0, 0
+}
+
+// inputPort is one router ingress with per-VC FIFOs. The head-of-line
+// flit's routing state is mirrored into headWant/headNextVC on every
+// push/pop, so arbitration reads two int32s per (input, VC) instead of
+// peeking ring buffers.
 type inputPort struct {
-	queues [][]flit // [vc][fifo]
+	qs []flitRing // one ring per VC
+
+	// headWant[vc] is the output slot the head flit of VC vc requests, -1
+	// when the queue is empty; headNextVC[vc] is that flit's next-hop VC.
+	headWant   []int16
+	headNextVC []int16
 
 	// upIdx is the dense index of the upstream router (-1 for the local
 	// injection port); upOutSlot is the slot of this router in the
@@ -179,6 +324,12 @@ type router struct {
 	inputs  []*inputPort
 	outputs []*outputPort
 
+	// wantCnt[slot] counts buffered head-of-line flits requesting output
+	// slot, maintained incrementally on every head change; switch
+	// allocation arbitrates only outputs with requesters (an output with
+	// none can produce no candidates and no state change).
+	wantCnt []int32
+
 	// portOrder lists the slots sorted by port key — neighbor ids with the
 	// router's own id (the local port key) merged at its sorted position —
 	// the deterministic iteration order of arbitration and switch
@@ -207,9 +358,9 @@ func (r *router) slotOf(v int32) (int32, bool) {
 	return 0, false
 }
 
-// arrival is a flit in flight on a link.
+// arrival is a flit in flight on a link; its landing cycle is implied by
+// the timing-wheel bucket it sits in.
 type arrival struct {
-	at   int64
 	to   int32 // dense index of the receiving router
 	slot int32 // input-port slot at the receiver
 	f    flit
@@ -219,18 +370,45 @@ type arrival struct {
 type Network struct {
 	cfg   Config
 	arch  *topology.Architecture
-	table routing.Table
-	vc    routing.VCAssignment
+	plans *routing.CompiledTable
 
 	frz     *graph.Frozen
 	routers []*router
 	order   []graph.NodeID
 
-	cycle    int64
-	inflight []arrival
+	cycle int64
 
-	srcQueue [][]*Packet // per router index: NI queues awaiting local port space
-	pending  int         // packets injected but not ejected
+	// wheel[c mod len(wheel)] holds the flits landing at cycle c; the
+	// link+pipeline delay is constant, so one bucket per delay step plus
+	// the current cycle suffices and buckets never collide.
+	wheel      [][]arrival
+	wheelDelay int64
+
+	srcQueue []pktRing // per router index: NI queues awaiting local port space
+	pending  int       // packets injected but not ejected
+
+	// Activity tracking: a router is active while any of its input rings
+	// holds a flit (bufFlits counts them); a source is active while its
+	// NI queue is nonempty. Inactive routers are provably no-ops for
+	// arbitration (no candidates, no state change), so Step skips them.
+	bufFlits   []int32
+	active     []int32
+	activeMark []bool
+	srcActive  []int32
+	srcMark    []bool
+
+	// Packet arena. pktSlots[i] is the in-flight packet flits refer to by
+	// index (slot 0 is reserved so the zero flit means "none"); a slot is
+	// released the moment the packet's tail ejects, so delivered packets
+	// are never pinned by the network. freeSlots recycles slot numbers;
+	// freePkts additionally recycles the Packet structs themselves when
+	// recycling is on, making steady-state injection allocation-free.
+	pktSlots  []*Packet
+	freeSlots []int32
+	freePkts  []*Packet
+	recycle   bool
+
+	candScratch []int32 // arbitration candidate buffer, reused across calls
 
 	stats    Stats
 	swTrav   []int64 // switch traversals per router index
@@ -239,33 +417,73 @@ type Network struct {
 	nextID   int
 }
 
-// New builds a simulator over the architecture and routing table. The
-// virtual channel assignment must come from the same table (it determines
-// NumVCs if cfg.NumVCs is lower).
+// New builds a simulator over the architecture and routing table,
+// compiling the table and the deadlock-free VC assignment into dense
+// route plans (the assignment determines NumVCs if cfg.NumVCs is lower).
+// Callers building several networks over the same (table, vc) should
+// compile once with routing.CompileTable and use NewCompiled.
 func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routing.VCAssignment) (*Network, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if arch == nil || table == nil {
 		return nil, fmt.Errorf("noc: nil architecture or table")
 	}
-	if vc.NumVCs > cfg.NumVCs {
-		cfg.NumVCs = vc.NumVCs
+	ct, err := routing.CompileTable(table, arch, vc)
+	if err != nil {
+		return nil, err
 	}
-	frz := arch.Graph().Freeze()
+	return NewCompiled(cfg, arch, ct)
+}
+
+// NewCompiled builds a simulator over an architecture and a pre-compiled
+// routing table. The compiled plans must come from the same architecture;
+// sharing one CompiledTable across many networks (sweep workers, service
+// simulations) amortizes the route compilation.
+func NewCompiled(cfg Config, arch *topology.Architecture, plans *routing.CompiledTable) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if arch == nil || plans == nil {
+		return nil, fmt.Errorf("noc: nil architecture or compiled table")
+	}
+	if plans.NumVCs() > cfg.NumVCs {
+		cfg.NumVCs = plans.NumVCs()
+	}
+	// Adopt the compiled table's frozen view so plan out-slots and router
+	// port slots agree by construction.
+	frz := plans.Frozen()
+	if frz.NodeCount() != len(arch.Nodes()) {
+		return nil, fmt.Errorf("noc: compiled table covers %d nodes, architecture has %d",
+			frz.NodeCount(), len(arch.Nodes()))
+	}
+	for _, id := range arch.Nodes() {
+		if _, ok := frz.IndexOf(id); !ok {
+			return nil, fmt.Errorf("noc: compiled table lacks architecture node %d", id)
+		}
+	}
+	// Each physical link contributes one directed edge per direction to
+	// the frozen view; a count mismatch means the table was compiled
+	// against a different topology than the one being simulated.
+	if frz.EdgeCount() != 2*arch.LinkCount() {
+		return nil, fmt.Errorf("noc: compiled table has %d directed edges, architecture has %d links",
+			frz.EdgeCount(), arch.LinkCount())
+	}
 	n := &Network{
 		cfg:   cfg,
 		arch:  arch,
-		table: table,
-		vc:    vc,
+		plans: plans,
 		frz:   frz,
 		order: append([]graph.NodeID(nil), frz.IDs()...),
 	}
 	n.stats = newStats()
+	n.pktSlots = make([]*Packet, 1) // slot 0 reserved: zero flit = no packet
 	n.swTrav = make([]int64, frz.NodeCount())
 	n.linkTrav = make([]int64, frz.EdgeCount())
-	n.srcQueue = make([][]*Packet, frz.NodeCount())
+	n.srcQueue = make([]pktRing, frz.NodeCount())
 	n.routers = make([]*router, frz.NodeCount())
+	n.bufFlits = make([]int32, frz.NodeCount())
+	n.activeMark = make([]bool, frz.NodeCount())
+	n.srcMark = make([]bool, frz.NodeCount())
+	n.wheelDelay = int64(cfg.LinkCycles) + int64(cfg.RouterCycles-1)
+	n.wheel = make([][]arrival, n.wheelDelay+1)
 
 	// Wire ports from the frozen adjacency. The architecture graph carries
 	// both directions of every physical link, so the CSR out-row of a
@@ -278,10 +496,15 @@ func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routin
 			nbr:     nbr,
 			inputs:  make([]*inputPort, len(nbr)+1),
 			outputs: make([]*outputPort, len(nbr)+1),
+			wantCnt: make([]int32, len(nbr)+1),
 		}
 		n.routers[i] = r
 	}
+	maxPorts := 0
 	for i, r := range n.routers {
+		if len(r.nbr)+1 > maxPorts {
+			maxPorts = len(r.nbr) + 1
+		}
 		e := frz.OutEdgeStart(i)
 		for k, v := range r.nbr {
 			down := n.routers[v]
@@ -327,17 +550,58 @@ func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routin
 			r.portOrder = append(r.portOrder, int32(k))
 		}
 	}
+	n.candScratch = make([]int32, 0, maxPorts*cfg.NumVCs)
 	return n, nil
 }
 
 // newInput builds an input port fed by upstream router upIdx through that
 // router's output slot upOutSlot (-1, -1 for the local injection port).
 func (n *Network) newInput(upIdx, upOutSlot int32) *inputPort {
-	return &inputPort{
-		queues:    make([][]flit, n.cfg.NumVCs),
-		upIdx:     upIdx,
-		upOutSlot: upOutSlot,
+	qs := make([]flitRing, n.cfg.NumVCs)
+	headWant := make([]int16, n.cfg.NumVCs)
+	for vc := range qs {
+		qs[vc].buf = make([]flit, n.cfg.BufferFlits)
+		headWant[vc] = -1
 	}
+	return &inputPort{
+		qs:         qs,
+		headWant:   headWant,
+		headNextVC: make([]int16, n.cfg.NumVCs),
+		upIdx:      upIdx,
+		upOutSlot:  upOutSlot,
+	}
+}
+
+// pushFlit appends f to the input's VC ring, maintaining the head mirror,
+// the output request counters and the router activity worklist.
+func (n *Network) pushFlit(r *router, in *inputPort, f flit) {
+	q := &in.qs[f.vc]
+	if q.n == 0 {
+		in.headWant[f.vc] = f.want
+		in.headNextVC[f.vc] = f.nextVC
+		r.wantCnt[f.want]++
+	}
+	q.push(f)
+	n.bufFlits[r.idx]++
+	n.markActive(r.idx)
+}
+
+// popFlit removes the head flit of the input's VC ring, maintaining the
+// same incremental state as pushFlit.
+func (n *Network) popFlit(r *router, in *inputPort, vc int32) flit {
+	q := &in.qs[vc]
+	f := q.pop()
+	r.wantCnt[f.want]--
+	if q.n > 0 {
+		h := q.peek()
+		in.headWant[vc] = h.want
+		in.headNextVC[vc] = h.nextVC
+		r.wantCnt[h.want]++
+	} else {
+		in.headWant[vc] = -1
+	}
+	n.bufFlits[r.idx]--
+	return f
 }
 
 func bigCredits(vcs int) []int {
@@ -347,6 +611,71 @@ func bigCredits(vcs int) []int {
 	}
 	return cr
 }
+
+// Reset rewinds the network to its cold post-construction state: cycle
+// zero, empty buffers and source queues, full credits, released wormhole
+// locks, rewound round-robin pointers, zeroed statistics and activity
+// counters, and no delivery callback. The wiring, compiled route plans,
+// packet arena and the packet-recycling mode are retained (re-disable
+// recycling explicitly if the next workload retains packets), so a
+// Reset network simulates observably identically to a freshly built one
+// while costing no rebuild — the contract the sweep harness relies on
+// to reuse one network per worker across rate points.
+func (n *Network) Reset() {
+	n.cycle = 0
+	n.pending = 0
+	n.nextID = 0
+	n.onEject = nil
+	n.stats.reset()
+	clear(n.swTrav)
+	clear(n.linkTrav)
+	clear(n.bufFlits)
+	for i := range n.wheel {
+		clear(n.wheel[i])
+		n.wheel[i] = n.wheel[i][:0]
+	}
+	for _, r := range n.routers {
+		clear(r.wantCnt)
+		for _, in := range r.inputs {
+			for vc := range in.qs {
+				in.qs[vc].reset()
+				in.headWant[vc] = -1
+				in.headNextVC[vc] = 0
+			}
+		}
+		for _, out := range r.outputs {
+			out.locked = -1
+			out.rrIndex = 0
+			if out.local {
+				continue // the local sink's credits are never consumed
+			}
+			for c := range out.credits {
+				out.credits[c] = n.cfg.BufferFlits
+			}
+		}
+	}
+	for i := range n.srcQueue {
+		n.srcQueue[i].reset()
+	}
+	clear(n.pktSlots)
+	n.pktSlots = n.pktSlots[:1]
+	n.freeSlots = n.freeSlots[:0]
+	for _, i := range n.active {
+		n.activeMark[i] = false
+	}
+	n.active = n.active[:0]
+	for _, i := range n.srcActive {
+		n.srcMark[i] = false
+	}
+	n.srcActive = n.srcActive[:0]
+}
+
+// SetPacketRecycling toggles the packet arena's freelist: when on,
+// delivered packets are reclaimed and reused by later injections, making
+// steady-state injection allocation-free. A recycled *Packet is only
+// valid until the OnEject callback (if any) returns; callers that retain
+// packet pointers past delivery must leave recycling off (the default).
+func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
 
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -360,22 +689,59 @@ func (n *Network) Nodes() []graph.NodeID {
 func (n *Network) Pending() int { return n.pending }
 
 // OnEject registers a delivery callback, invoked when a packet's tail flit
-// leaves the network (application layers build dataflow on this).
+// leaves the network (application layers build dataflow on this). With
+// packet recycling on, the *Packet argument is reclaimed when the
+// callback returns. Reset clears the registration.
 func (n *Network) OnEject(fn func(*Packet)) { n.onEject = fn }
 
-// Inject queues a packet for injection at the current cycle. The route is
-// resolved immediately from the routing table and the deadlock-free VC
-// assignment; an unroutable packet is an error.
+// allocPacket takes a packet from the freelist or the heap.
+func (n *Network) allocPacket() *Packet {
+	if k := len(n.freePkts); k > 0 {
+		p := n.freePkts[k-1]
+		n.freePkts[k-1] = nil
+		n.freePkts = n.freePkts[:k-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// freePacket returns a delivered packet to the arena, dropping the
+// references it holds (payload and shared plan views) so recycled
+// packets pin no application data.
+func (n *Network) freePacket(p *Packet) {
+	p.Payload = nil
+	p.Tag = ""
+	p.route, p.vcs, p.outSlot = nil, nil, nil
+	n.freePkts = append(n.freePkts, p)
+}
+
+// Inject queues a packet for injection at the current cycle. The route,
+// per-hop virtual channels and output slots come from the network's
+// compiled routing table — shared read-only plan views, no per-packet
+// resolution or copying; an unroutable packet is an error.
 func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, error) {
-	route, err := n.table.Route(src, dst)
-	if err != nil {
-		return nil, err
+	if bits <= 0 {
+		return nil, fmt.Errorf("noc: packet bits %d", bits)
 	}
-	vcs := make([]int, len(route))
-	for i := 0; i+1 < len(route); i++ {
-		vcs[i] = n.vc.VCForHop(route, i)
+	if src == dst {
+		return nil, fmt.Errorf("noc: self-addressed packet at node %d", src)
 	}
-	return n.InjectRouted(src, dst, bits, tag, route, vcs)
+	si, ok := n.frz.IndexOf(src)
+	if !ok {
+		return nil, fmt.Errorf("noc: unknown source node %d", src)
+	}
+	di, ok := n.frz.IndexOf(dst)
+	if !ok {
+		return nil, fmt.Errorf("noc: no route from %d to unknown node %d", src, dst)
+	}
+	route, vcs, outSlot, ok := n.plans.PlanByIndex(si, di)
+	if !ok {
+		return nil, fmt.Errorf("noc: no route from %d to %d", src, dst)
+	}
+	p := n.allocPacket()
+	p.route, p.vcs, p.outSlot = route, vcs, outSlot
+	n.enqueue(p, src, dst, bits, tag, int32(si))
+	return p, nil
 }
 
 // InjectRouted queues a packet with an explicit source route and per-hop
@@ -384,7 +750,8 @@ func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, 
 // oblivious/stochastic/adaptive routing strategies use: they choose the
 // route per packet, outside the deterministic table. The caller is
 // responsible for choosing routes and VC classes whose union is
-// deadlock-free.
+// deadlock-free. The route is validated hop by hop and copied into the
+// packet's own buffers (reused across recycles).
 func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, route []graph.NodeID, vcs []int) (*Packet, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("noc: packet bits %d", bits)
@@ -401,40 +768,71 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 	// Resolve the route to dense indices and per-hop output slots once.
 	// slotOf doubles as the link-existence check: the frozen adjacency is
 	// built from the architecture's links.
-	routeIdx := make([]int32, len(route))
-	outSlot := make([]int32, len(route))
+	p := n.allocPacket()
+	p.ownRoute = append(p.ownRoute[:0], route...)
+	p.ownVCs = append(p.ownVCs[:0], vcs...)
+	p.ownSlot = p.ownSlot[:0]
+	fail := func(err error) (*Packet, error) {
+		n.freePkts = append(n.freePkts, p)
+		return nil, err
+	}
+	var srcIdx int32
+	prev := -1
 	for i, id := range route {
 		ri, ok := n.frz.IndexOf(id)
 		if !ok {
-			return nil, fmt.Errorf("noc: route %v visits unknown node %d", route, id)
+			return fail(fmt.Errorf("noc: route %v visits unknown node %d", route, id))
 		}
-		routeIdx[i] = int32(ri)
+		if i == 0 {
+			srcIdx = int32(ri)
+		} else {
+			slot, ok := n.routers[prev].slotOf(int32(ri))
+			if !ok {
+				return fail(fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i-1], id))
+			}
+			p.ownSlot = append(p.ownSlot, slot)
+		}
+		prev = ri
 	}
 	for i := 0; i+1 < len(route); i++ {
 		if vcs[i] < 0 || vcs[i] >= n.cfg.NumVCs {
-			return nil, fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs)
+			return fail(fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs))
 		}
-		slot, ok := n.routers[routeIdx[i]].slotOf(routeIdx[i+1])
-		if !ok {
-			return nil, fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i], route[i+1])
-		}
-		outSlot[i] = slot
 	}
-	outSlot[len(route)-1] = n.routers[routeIdx[len(route)-1]].localSlot()
+	p.ownSlot = append(p.ownSlot, n.routers[prev].localSlot())
+	p.route, p.vcs, p.outSlot = p.ownRoute, p.ownVCs, p.ownSlot
+	n.enqueue(p, src, dst, bits, tag, srcIdx)
+	return p, nil
+}
+
+// enqueue finishes packet setup — including its arena slot, which flits
+// use to refer to it — and appends it to the source NI queue.
+func (n *Network) enqueue(p *Packet, src, dst graph.NodeID, bits int, tag string, srcIdx int32) {
 	n.nextID++
-	p := &Packet{
-		ID: n.nextID, Src: src, Dst: dst, Bits: bits, Tag: tag,
-		InjectCycle: n.cycle,
-		route:       append([]graph.NodeID(nil), route...),
-		vcs:         append([]int(nil), vcs...),
-		outSlot:     outSlot,
-		flits:       1 + (bits+n.cfg.FlitBits-1)/n.cfg.FlitBits,
+	p.ID = n.nextID
+	p.Src, p.Dst = src, dst
+	p.Bits = bits
+	p.Tag = tag
+	p.Payload = nil
+	p.InjectCycle = n.cycle
+	p.EjectCycle = 0
+	p.flits = 1 + (bits+n.cfg.FlitBits-1)/n.cfg.FlitBits
+	p.injected = 0
+	if k := len(n.freeSlots); k > 0 {
+		p.arenaIdx = n.freeSlots[k-1]
+		n.freeSlots = n.freeSlots[:k-1]
+		n.pktSlots[p.arenaIdx] = p
+	} else {
+		p.arenaIdx = int32(len(n.pktSlots))
+		n.pktSlots = append(n.pktSlots, p)
 	}
-	srcIdx := routeIdx[0]
-	n.srcQueue[srcIdx] = append(n.srcQueue[srcIdx], p)
+	n.srcQueue[srcIdx].push(p)
+	if !n.srcMark[srcIdx] {
+		n.srcMark[srcIdx] = true
+		n.srcActive = append(n.srcActive, srcIdx)
+	}
 	n.pending++
 	n.stats.Injected++
-	return p, nil
 }
 
 // InputOccupancy returns the number of flits currently buffered in the
@@ -446,8 +844,8 @@ func (n *Network) InputOccupancy(node graph.NodeID) int {
 	}
 	total := 0
 	for _, in := range n.routers[i].inputs {
-		for _, q := range in.queues {
-			total += len(q)
+		for vc := range in.qs {
+			total += int(in.qs[vc].n)
 		}
 	}
 	return total
@@ -462,111 +860,146 @@ func (n *Network) Step() {
 }
 
 // RunUntilDrained steps until no packets are pending or maxCycles elapse,
-// returning whether the network drained.
+// returning whether the network drained. A horizon that would overflow
+// the cycle counter (e.g. math.MaxInt64) is clamped to "no limit" rather
+// than wrapping negative and returning immediately.
 func (n *Network) RunUntilDrained(maxCycles int64) bool {
 	limit := n.cycle + maxCycles
+	if maxCycles > 0 && limit < n.cycle {
+		limit = math.MaxInt64
+	}
 	for n.pending > 0 && n.cycle < limit {
 		n.Step()
 	}
 	return n.pending == 0
 }
 
+// markActive flags a router as holding buffered flits.
+func (n *Network) markActive(i int32) {
+	if !n.activeMark[i] {
+		n.activeMark[i] = true
+		n.active = append(n.active, i)
+	}
+}
+
 // deliverArrivals moves flits that finished their link traversal into the
 // downstream input buffers (space was reserved by credits at send time).
+// Only the timing-wheel bucket of the current cycle is touched; bucket
+// order is send order, preserving the pre-wheel delivery order exactly.
 func (n *Network) deliverArrivals() {
-	rest := n.inflight[:0]
-	for _, a := range n.inflight {
-		if a.at > n.cycle {
-			rest = append(rest, a)
-			continue
-		}
-		in := n.routers[a.to].inputs[a.slot]
-		vc := n.vcOf(a.f)
-		in.queues[vc] = append(in.queues[vc], a.f)
+	slot := n.cycle % int64(len(n.wheel))
+	bucket := n.wheel[slot]
+	for i := range bucket {
+		a := &bucket[i]
+		r := n.routers[a.to]
+		n.pushFlit(r, r.inputs[a.slot], a.f)
+		*a = arrival{} // release the packet reference
 	}
-	n.inflight = rest
+	n.wheel[slot] = bucket[:0]
 }
 
 // injectFromNIs moves waiting packets' flits into local input ports while
 // buffer space remains. Flits are created lazily: a packet at the head of
 // the NI queue feeds one flit per cycle into the local port (the NI also
-// serializes at link width).
+// serializes at link width). Only routers with queued packets are
+// visited; the per-router work is independent, so worklist order is
+// immaterial.
 func (n *Network) injectFromNIs() {
-	for i, r := range n.routers {
-		q := n.srcQueue[i]
-		if len(q) == 0 {
+	keep := n.srcActive[:0]
+	for _, i := range n.srcActive {
+		q := &n.srcQueue[i]
+		if q.n == 0 {
+			n.srcMark[i] = false
 			continue
 		}
-		p := q[0]
+		keep = append(keep, i)
+		r := n.routers[i]
+		p := q.peek()
 		in := r.inputs[r.localSlot()]
 		vc := p.vcs[0]
-		if len(in.queues[vc]) >= n.cfg.BufferFlits {
+		if int(in.qs[vc].n) >= n.cfg.BufferFlits {
 			continue
 		}
-		f := flit{pkt: p, isHead: p.injected == 0, isTail: p.injected == p.flits-1, hop: 0}
-		in.queues[vc] = append(in.queues[vc], f)
+		isTail := p.injected == p.flits-1
+		n.pushFlit(r, in, flitAt(p, 0, p.injected == 0, isTail))
 		p.injected++
-		if f.isTail {
-			n.srcQueue[i] = q[1:]
+		if isTail {
+			q.pop()
 		}
 	}
+	n.srcActive = keep
 }
 
-// switchAllocation arbitrates every output port and moves winning flits.
+// switchAllocation arbitrates every output port of every active router —
+// ascending router index, matching the pre-worklist full scan, which is
+// required because credits returned at one router are visible to
+// higher-indexed routers within the same cycle. Routers without buffered
+// flits can produce no arbitration candidates and no state change, so
+// skipping them is behavior-preserving.
 func (n *Network) switchAllocation() {
-	for _, r := range n.routers {
+	if len(n.active) == 0 {
+		return
+	}
+	slices.Sort(n.active)
+	for _, idx := range n.active {
+		r := n.routers[idx]
 		for _, slot := range r.portOrder {
-			n.arbitrate(r, slot)
+			if r.wantCnt[slot] > 0 {
+				n.arbitrate(r, slot)
+			}
 		}
 	}
-}
-
-// wantsSlot reports which output slot the head-of-line flit requests at
-// router r: its precomputed per-hop slot, or the local slot when r is the
-// destination.
-func wantsSlot(r *router, f flit) int32 {
-	p := f.pkt
-	if f.hop >= len(p.route)-1 {
-		return r.localSlot()
+	keep := n.active[:0]
+	for _, idx := range n.active {
+		if n.bufFlits[idx] > 0 {
+			keep = append(keep, idx)
+		} else {
+			n.activeMark[idx] = false
+		}
 	}
-	return p.outSlot[f.hop]
+	n.active = keep
 }
 
 // arbitrate picks one input VC for the output port at the given slot and
 // moves its head-of-line flit.
 func (n *Network) arbitrate(r *router, outSlot int32) {
 	out := r.outputs[outSlot]
+	numVC := int32(n.cfg.NumVCs)
+	want := int16(outSlot)
+	if lk := out.locked; lk >= 0 {
+		// Wormhole fast path: while the output is locked, the only
+		// admissible candidate is the locked (slot, vc) — every other
+		// requester fails the lock filter — and that queue's head, if
+		// any, is the locked packet's next flit (per-VC FIFO order). The
+		// full scan would build a one-element or empty candidate set.
+		slot, vc := lk/numVC, lk%numVC
+		in := r.inputs[slot]
+		if in.headWant[vc] != want {
+			return
+		}
+		if !out.local && out.credits[in.headNextVC[vc]] <= 0 {
+			return
+		}
+		out.rrIndex++
+		n.moveFlit(r, out, in, slot, vc)
+		return
+	}
 	// cands collects input (slot, vc) pairs encoded as slot*NumVCs+vc, in
 	// ascending port order (the deterministic arbitration domain).
-	var candBuf [16]int32
-	cands := candBuf[:0]
-	numVC := n.cfg.NumVCs
+	cands := n.candScratch[:0]
 	for _, slot := range r.portOrder {
 		in := r.inputs[slot]
-		for vc := 0; vc < numVC; vc++ {
-			q := in.queues[vc]
-			if len(q) == 0 {
-				continue
-			}
-			f := q[0]
-			if wantsSlot(r, f) != outSlot {
-				continue
-			}
-			// Wormhole lock: only the locked packet's input may use the
-			// output until the tail passes.
-			key := slot*int32(numVC) + int32(vc)
-			if out.locked >= 0 && out.locked != key {
+		for vc := int32(0); vc < numVC; vc++ {
+			// headWant is -1 for an empty ring, never matching a slot.
+			if in.headWant[vc] != want {
 				continue
 			}
 			// Credit check for the downstream buffer (the VC of the NEXT
 			// hop governs which buffer the flit lands in).
-			if !out.local {
-				dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
-				if out.credits[dvc] <= 0 {
-					continue
-				}
+			if !out.local && out.credits[in.headNextVC[vc]] <= 0 {
+				continue
 			}
-			cands = append(cands, key)
+			cands = append(cands, slot*numVC+vc)
 		}
 	}
 	if len(cands) == 0 {
@@ -575,14 +1008,18 @@ func (n *Network) arbitrate(r *router, outSlot int32) {
 	// Round-robin among candidates.
 	key := cands[out.rrIndex%len(cands)]
 	out.rrIndex++
-	selSlot, selVC := key/int32(numVC), int(key)%numVC
-	in := r.inputs[selSlot]
-	f := in.queues[selVC][0]
-	in.queues[selVC] = in.queues[selVC][1:]
+	n.moveFlit(r, out, r.inputs[key/numVC], key/numVC, key%numVC)
+}
+
+// moveFlit pops the selected input VC's head flit and moves it through
+// the crossbar: wormhole lock bookkeeping, upstream credit return, and
+// either local ejection or the link send onto the timing wheel.
+func (n *Network) moveFlit(r *router, out *outputPort, in *inputPort, selSlot, selVC int32) {
+	f := n.popFlit(r, in, selVC)
 
 	// Wormhole lock management.
 	if f.isHead {
-		out.locked = key
+		out.locked = selSlot*int32(n.cfg.NumVCs) + selVC
 	}
 	if f.isTail {
 		out.locked = -1
@@ -597,14 +1034,21 @@ func (n *Network) arbitrate(r *router, outSlot int32) {
 	n.swTrav[r.idx]++
 
 	if out.local {
-		// Local ejection.
+		// Local ejection. The arena slot is released unconditionally —
+		// the network never pins a delivered packet — and the Packet
+		// struct itself is reclaimed only when recycling is on.
 		if f.isTail {
-			p := f.pkt
+			p := n.pktSlots[f.pktIdx]
+			n.pktSlots[f.pktIdx] = nil
+			n.freeSlots = append(n.freeSlots, f.pktIdx)
 			p.EjectCycle = n.cycle
 			n.pending--
 			n.stats.recordDelivery(p)
 			if n.onEject != nil {
 				n.onEject(p)
+			}
+			if n.recycle {
+				n.freePacket(p)
 			}
 		}
 		return
@@ -613,15 +1057,15 @@ func (n *Network) arbitrate(r *router, outSlot int32) {
 	// Send over the link; the flit becomes switch-allocation eligible at
 	// the downstream router only after the link traversal plus the
 	// remaining router pipeline stages (stage 1 is the allocation cycle
-	// itself).
-	dvc := n.vcOf(flit{pkt: f.pkt, hop: f.hop + 1})
-	out.credits[dvc]--
+	// itself). The landing cycle is always cycle+wheelDelay, so the wheel
+	// bucket is fixed at send time.
+	out.credits[f.nextVC]--
 	n.linkTrav[out.edgeID]++
-	n.inflight = append(n.inflight, arrival{
-		at:   n.cycle + int64(n.cfg.LinkCycles) + int64(n.cfg.RouterCycles-1),
+	slot := (n.cycle + n.wheelDelay) % int64(len(n.wheel))
+	n.wheel[slot] = append(n.wheel[slot], arrival{
 		to:   out.toIdx,
 		slot: out.downSlot,
-		f:    flit{pkt: f.pkt, isHead: f.isHead, isTail: f.isTail, hop: f.hop + 1},
+		f:    flitAt(n.pktSlots[f.pktIdx], f.hop+1, f.isHead, f.isTail),
 	})
 }
 
@@ -706,9 +1150,10 @@ func (n *Network) Stats() Stats {
 // traffic — the standard warm-up/measurement-window methodology: drive
 // the network to steady state, ResetStats, then measure. The cycle
 // counter keeps running; use the returned cycle as the window start.
+// (Reset, by contrast, rewinds the whole network to cold.)
 func (n *Network) ResetStats() int64 {
 	inFlight := n.pending
-	n.stats = newStats()
+	n.stats.reset()
 	for i := range n.swTrav {
 		n.swTrav[i] = 0
 	}

@@ -329,6 +329,15 @@ type TrafficConfig struct {
 // is deterministic for a fixed config and identical regardless of how
 // the caller later simulates it.
 func GenerateTrace(p *Pattern, cfg TrafficConfig, cycles int64) (Trace, error) {
+	return GenerateTraceInto(nil, p, cfg, cycles)
+}
+
+// GenerateTraceInto is GenerateTrace appending into dst's backing array
+// (truncated first), so repeat generators — the sweep harness produces
+// one schedule per rate point — reuse one buffer instead of regrowing a
+// fresh trace every time. The schedule bytes are identical to
+// GenerateTrace's.
+func GenerateTraceInto(dst Trace, p *Pattern, cfg TrafficConfig, cycles int64) (Trace, error) {
 	if p == nil {
 		return nil, fmt.Errorf("noc: nil pattern")
 	}
@@ -378,7 +387,7 @@ func GenerateTrace(p *Pattern, cfg TrafficConfig, cycles int64) (Trace, error) {
 			on[i] = rng.Float64() < cfg.Burst.OnFraction
 		}
 	}
-	var trace Trace
+	trace := dst[:0]
 	for c := int64(0); c < cycles; c++ {
 		for src := 0; src < n; src++ {
 			if cfg.Burst != nil {

@@ -57,6 +57,18 @@ func newStats() Stats {
 	}
 }
 
+// reset clears the accumulator in place, retaining map storage — the
+// allocation-free form of newStats the simulator's Reset/ResetStats hot
+// paths use between measurement windows.
+func (s *Stats) reset() {
+	clear(s.SwitchTraversals)
+	clear(s.LinkTraversals)
+	clear(s.ByTag)
+	s.Injected, s.Delivered, s.DeliveredBits = 0, 0, 0
+	s.LatencySum, s.LatencyMax = 0, 0
+	s.LatencyMin = 1<<63 - 1
+}
+
 func (s *Stats) recordDelivery(p *Packet) {
 	s.Delivered++
 	s.DeliveredBits += int64(p.Bits)

@@ -15,7 +15,8 @@ import (
 
 // SweepConfig parameterizes an open-loop injection-rate sweep: the same
 // spatial pattern driven across an ascending rate ladder, each rate on a
-// fresh network, with the standard warmup-discard methodology and
+// cold network (one reusable network per worker, rewound by Reset
+// between points), with the standard warmup-discard methodology and
 // batch-means confidence intervals over the measured latencies.
 type SweepConfig struct {
 	// Pattern is the spatial pattern, built for the network's node count.
@@ -144,8 +145,12 @@ func pointSeed(seed int64, i int) int64 {
 }
 
 // Sweep runs the rate ladder. newNet must build a fresh, cold network
-// over the same architecture on every call (each rate point starts from
-// empty buffers); Sweep calls it once per rate, possibly concurrently.
+// over the same architecture; Sweep calls it once per worker and rewinds
+// the network with Reset between rate points (each point still starts
+// from empty buffers and cycle zero), so the router wiring and compiled
+// route plans are built once, not once per rate. Packet recycling is
+// enabled on the sweep's networks — the harness never retains packets
+// past delivery — making the steady-state simulate loop allocation-free.
 func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig) (*SweepResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -172,12 +177,29 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var net *Network
+			var scratch Trace
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(cfg.Rates) {
 					return
 				}
-				points[i], errs[i] = sweepPoint(ctx, newNet, cfg, i)
+				if net == nil {
+					n, err := newNet()
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					if n.Cycle() != 0 || n.Pending() != 0 {
+						errs[i] = fmt.Errorf("noc: sweep network factory returned a warm network")
+						continue
+					}
+					n.SetPacketRecycling(true)
+					net = n
+				} else {
+					net.Reset() // recycling survives Reset
+				}
+				points[i], scratch, errs[i] = sweepPoint(ctx, net, cfg, i, scratch)
 			}
 		}()
 	}
@@ -207,20 +229,15 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 	return res, nil
 }
 
-// sweepPoint simulates one rate of the ladder: generate the open-loop
-// schedule over warmup+measure cycles, run the warmup with statistics
-// discarded at its end (ResetStats), then measure.
-func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig, i int) (RatePoint, error) {
+// sweepPoint simulates one rate of the ladder on a cold network:
+// generate the open-loop schedule over warmup+measure cycles (into the
+// worker's reusable scratch buffer), run the warmup with statistics
+// discarded at its end (ResetStats), then measure. The (possibly grown)
+// trace buffer is returned to the caller for the next point.
+func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scratch Trace) (RatePoint, Trace, error) {
 	pt := RatePoint{Rate: cfg.Rates[i], MeasuredCycles: cfg.MeasureCycles}
-	net, err := newNet()
-	if err != nil {
-		return pt, err
-	}
-	if net.Cycle() != 0 || net.Pending() != 0 {
-		return pt, fmt.Errorf("noc: sweep network factory returned a warm network")
-	}
 	horizon := cfg.WarmupCycles + cfg.MeasureCycles
-	trace, err := GenerateTrace(cfg.Pattern, TrafficConfig{
+	trace, err := GenerateTraceInto(scratch, cfg.Pattern, TrafficConfig{
 		Nodes: net.Nodes(),
 		Bits:  cfg.Bits,
 		Rate:  cfg.Rates[i],
@@ -228,7 +245,7 @@ func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepC
 		Burst: cfg.Burst,
 	}, horizon)
 	if err != nil {
-		return pt, err
+		return pt, trace, err
 	}
 	for _, ev := range trace {
 		if ev.Cycle >= cfg.WarmupCycles {
@@ -246,7 +263,7 @@ func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepC
 		for ti < len(trace) && trace[ti].Cycle <= net.cycle {
 			ev := trace[ti]
 			if _, err := net.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil {
-				return pt, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
+				return pt, trace, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
 			}
 			ti++
 		}
@@ -254,7 +271,7 @@ func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepC
 		if net.cycle&ctxCheckMask == 0 {
 			select {
 			case <-ctx.Done():
-				return pt, ctx.Err()
+				return pt, trace, ctx.Err()
 			default:
 			}
 		}
@@ -279,5 +296,5 @@ func sweepPoint(ctx context.Context, newNet func() (*Network, error), cfg SweepC
 	// offered one (or nothing is delivered at all while load is offered).
 	pt.Saturated = pt.Offered > 0 &&
 		(pt.Delivered == 0 || pt.Accepted < cfg.SaturationThreshold*pt.Offered)
-	return pt, nil
+	return pt, trace, nil
 }

@@ -3,6 +3,7 @@ package noc
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/graph"
@@ -66,9 +67,13 @@ func (n *Network) ReplayContext(ctx context.Context, trace Trace, drainLimit int
 // simulation stops within microseconds without a select per cycle.
 const ctxCheckMask = 0x3ff
 
-// runUntilDrainedContext is RunUntilDrained with periodic context checks.
+// runUntilDrainedContext is RunUntilDrained with periodic context checks
+// and the same overflow clamp on the cycle horizon.
 func (n *Network) runUntilDrainedContext(ctx context.Context, maxCycles int64) bool {
 	limit := n.cycle + maxCycles
+	if maxCycles > 0 && limit < n.cycle {
+		limit = math.MaxInt64
+	}
 	for n.pending > 0 && n.cycle < limit {
 		n.Step()
 		if n.cycle&ctxCheckMask == 0 {

@@ -1,0 +1,161 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// CompiledTable is the dense, immutable runtime form of a routing table:
+// for every ordered (src, dst) pair, the full route, the per-hop virtual
+// channel and the per-hop output-port slot, flattened into shared arrays
+// computed once per table. The map-walking Table answers "what is the
+// next hop" one hop at a time; the compiled form answers "what is the
+// complete plan" with three slice views and no allocation — the shape
+// the simulator's injection path, the sweep harness and the service's
+// simulate path all consume.
+//
+// Output-port slots follow the simulator's port convention: slot k of a
+// router is its k-th smallest neighbor in the frozen CSR adjacency, and
+// slot degree(router) is the local injection/ejection port. Plans are
+// resolved against the CompiledTable's own frozen view, which the
+// simulator adopts, so the slot numbering can never diverge.
+type CompiledTable struct {
+	frz    *graph.Frozen
+	numVCs int
+
+	// start[s*n+d] .. start[s*n+d+1] delimit pair (s, d) by dense node
+	// index in the flat plan arrays. An empty span marks an invalid pair
+	// (s == d).
+	start []int32
+
+	// nodes, vcs and outSlot hold the plans position by position: for a
+	// plan of length L, position i < L-1 carries the VC occupied at
+	// route[i] and the output slot toward route[i+1]; the final position
+	// carries VC 0 and the destination's local ejection slot.
+	nodes   []graph.NodeID
+	vcs     []int
+	outSlot []int32
+}
+
+// CompileTable flattens a routing table and its deadlock-free VC
+// assignment over the architecture into a CompiledTable. Every ordered
+// node pair is resolved through Table.Route and VCAssignment.VCForHop —
+// the compiled plans are definitionally identical to what per-packet
+// resolution would produce — and every hop is checked against the
+// architecture's frozen adjacency, so consumers can trust plans without
+// re-validating links.
+func CompileTable(table Table, arch *topology.Architecture, vc VCAssignment) (*CompiledTable, error) {
+	if table == nil || arch == nil {
+		return nil, fmt.Errorf("routing: compile needs a table and an architecture")
+	}
+	frz := arch.Graph().Freeze()
+	n := frz.NodeCount()
+	ids := frz.IDs()
+	ct := &CompiledTable{
+		frz:    frz,
+		numVCs: vc.NumVCs,
+		start:  make([]int32, n*n+1),
+	}
+	for si, src := range ids {
+		for di, dst := range ids {
+			pair := si*n + di
+			ct.start[pair] = int32(len(ct.nodes))
+			if si == di {
+				continue
+			}
+			route, err := table.Route(src, dst)
+			if err != nil {
+				return nil, fmt.Errorf("routing: compile %d->%d: %w", src, dst, err)
+			}
+			for i, id := range route {
+				ri, ok := frz.IndexOf(id)
+				if !ok {
+					return nil, fmt.Errorf("routing: compile %d->%d: route visits unknown node %d", src, dst, id)
+				}
+				slot := int32(frz.OutDegree(ri)) // local ejection slot
+				if i+1 < len(route) {
+					next, ok := frz.IndexOf(route[i+1])
+					if !ok {
+						return nil, fmt.Errorf("routing: compile %d->%d: route visits unknown node %d", src, dst, route[i+1])
+					}
+					slot, ok = csrSlotOf(frz.Out(ri), int32(next))
+					if !ok {
+						return nil, fmt.Errorf("routing: compile %d->%d: route uses missing link %d-%d",
+							src, dst, id, route[i+1])
+					}
+				}
+				hopVC := 0
+				if i+1 < len(route) {
+					hopVC = vc.VCForHop(route, i)
+					if maxVC := max(vc.NumVCs, 1); hopVC < 0 || hopVC >= maxVC {
+						return nil, fmt.Errorf("routing: compile %d->%d: hop %d VC %d outside [0,%d)",
+							src, dst, i, hopVC, maxVC)
+					}
+				}
+				ct.nodes = append(ct.nodes, id)
+				ct.vcs = append(ct.vcs, hopVC)
+				ct.outSlot = append(ct.outSlot, slot)
+			}
+		}
+	}
+	ct.start[n*n] = int32(len(ct.nodes))
+	return ct, nil
+}
+
+// csrSlotOf returns the position of v in the ascending CSR neighbor row —
+// the simulator's output-port slot convention.
+func csrSlotOf(nbr []int32, v int32) (int32, bool) {
+	lo, hi := 0, len(nbr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbr[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbr) && nbr[lo] == v {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
+// Frozen returns the CSR view the plans were compiled against. Consumers
+// wiring state by dense node index (the simulator) adopt this view so
+// plan slots and their own port numbering agree by construction.
+func (ct *CompiledTable) Frozen() *graph.Frozen { return ct.frz }
+
+// NumVCs returns the virtual channel count the compiled plans require.
+func (ct *CompiledTable) NumVCs() int { return ct.numVCs }
+
+// NodeCount returns the number of nodes the table was compiled for.
+func (ct *CompiledTable) NodeCount() int { return ct.frz.NodeCount() }
+
+// PlanByIndex returns the route plan between dense node indices as three
+// aligned read-only views (route node ids, per-position VCs, per-position
+// output slots). ok is false for s == d, out-of-range indices, or pairs
+// the table cannot connect (CompileTable fails on those, so in practice
+// only the former two occur). Callers must not mutate the views.
+func (ct *CompiledTable) PlanByIndex(s, d int) (route []graph.NodeID, vcs []int, outSlot []int32, ok bool) {
+	n := ct.frz.NodeCount()
+	if s < 0 || s >= n || d < 0 || d >= n || s == d {
+		return nil, nil, nil, false
+	}
+	lo, hi := ct.start[s*n+d], ct.start[s*n+d+1]
+	if lo == hi {
+		return nil, nil, nil, false
+	}
+	return ct.nodes[lo:hi:hi], ct.vcs[lo:hi:hi], ct.outSlot[lo:hi:hi], true
+}
+
+// Plan is PlanByIndex keyed by node id.
+func (ct *CompiledTable) Plan(src, dst graph.NodeID) (route []graph.NodeID, vcs []int, outSlot []int32, ok bool) {
+	s, sok := ct.frz.IndexOf(src)
+	d, dok := ct.frz.IndexOf(dst)
+	if !sok || !dok {
+		return nil, nil, nil, false
+	}
+	return ct.PlanByIndex(s, d)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/aes"
@@ -137,6 +138,23 @@ type Result struct {
 	Routing       RoutingTable
 	VCs           VCAssignment
 	Stats         core.Stats
+
+	// compiled caches the dense route plans shared by every network built
+	// over this result (sweep workers, the service's simulate path), so
+	// the table is compiled once per synthesis, not once per simulation.
+	compiledOnce sync.Once
+	compiled     *routing.CompiledTable
+	compiledErr  error
+}
+
+// CompiledRouting returns the result's routing table compiled into dense
+// per-(src,dst) route/VC/out-slot plans, computing it on first use and
+// sharing the same immutable table across all callers.
+func (r *Result) CompiledRouting() (*routing.CompiledTable, error) {
+	r.compiledOnce.Do(func() {
+		r.compiled, r.compiledErr = routing.CompileTable(r.Routing, r.Architecture, r.VCs)
+	})
+	return r.compiled, r.compiledErr
 }
 
 // Synthesize runs the complete pipeline of the paper on an application
@@ -210,14 +228,35 @@ func SynthesizeContext(ctx context.Context, acg *Graph, opts Options) (*Result, 
 	}, nil
 }
 
-// NewNetwork builds a simulator over a synthesized result.
+// NewNetwork builds a simulator over a synthesized result. All networks
+// built from the same result share one compiled routing table.
 func (r *Result) NewNetwork(cfg NetworkConfig) (*Network, error) {
-	return noc.New(cfg, r.Architecture, r.Routing, r.VCs)
+	ct, err := r.CompiledRouting()
+	if err != nil {
+		return nil, err
+	}
+	return noc.NewCompiled(cfg, r.Architecture, ct)
 }
 
 // MeshNetwork builds a rows x cols mesh baseline with XY routing and a
 // simulator over it — the comparison architecture of Section 5.2.
 func MeshNetwork(rows, cols int, placement *Placement, cfg NetworkConfig) (*Network, *Architecture, error) {
+	newNet, arch, err := MeshNetworkFactory(rows, cols, placement, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := newNet()
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, arch, nil
+}
+
+// MeshNetworkFactory builds the rows x cols XY mesh once — architecture,
+// routing table, VC assignment and compiled route plans — and returns a
+// factory producing cold simulators that all share them: the shape
+// noc.Sweep's per-worker networks and repeated benchmark runs want.
+func MeshNetworkFactory(rows, cols int, placement *Placement, cfg NetworkConfig) (func() (*Network, error), *Architecture, error) {
 	arch, err := topology.Mesh(rows, cols, placement)
 	if err != nil {
 		return nil, nil, err
@@ -230,11 +269,11 @@ func MeshNetwork(rows, cols int, placement *Placement, cfg NetworkConfig) (*Netw
 	if err != nil {
 		return nil, nil, err
 	}
-	net, err := noc.New(cfg, arch, table, vcs)
+	ct, err := routing.CompileTable(table, arch, vcs)
 	if err != nil {
 		return nil, nil, err
 	}
-	return net, arch, nil
+	return func() (*Network, error) { return noc.NewCompiled(cfg, arch, ct) }, arch, nil
 }
 
 // AESACG returns the distributed-AES application graph of the paper's

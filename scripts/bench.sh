@@ -9,12 +9,20 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 benchtime="${2:-5x}"
 
 raw=$(go test -run '^$' \
     -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh|BenchmarkSweepUniformMesh' \
     -benchmem -benchtime "$benchtime" .)
+
+# Simulator-kernel trajectory (PR 5): idle-cycle cost of the activity-
+# driven Step, the allocation-free compiled-route injection path, and a
+# warm Reset rate point. These run at a fixed longer benchtime — the
+# per-op cost is nanoseconds, so 5 iterations would measure noise.
+raw_kernel=$(go test -run '^$' \
+    -bench 'BenchmarkStepIdle|BenchmarkInjectRouted|BenchmarkSweepReset' \
+    -benchmem -benchtime 1s .)
 
 # Service-path trajectory: the cold (cache-miss, real solve) and hot
 # (content-addressed cache hit) sides of the PR 3 synthesis daemon. The
@@ -24,6 +32,7 @@ raw_service=$(go test -run '^$' \
     -benchmem -benchtime "$benchtime" ./internal/service)
 
 echo "$raw" >&2
+echo "$raw_kernel" >&2
 echo "$raw_service" >&2
 
 # Workload trajectory (PR 4): the measured saturation point of the AES
@@ -67,8 +76,24 @@ tojson() {
     {"name": "BenchmarkTableAES_Mesh", "ns_per_op": 4213063, "bytes_per_op": 507856, "allocs_per_op": 20949}
   ],
 EOF
+    # Pre-refactor reference for the PR 5 simulator kernel (seed kernel,
+    # Intel Xeon @ 2.10 GHz, this repo at PR 4): the fixed "before" side
+    # of the allocation-free activity-driven kernel comparison in
+    # EXPERIMENTS.md. SeedStepIdle/SeedInject were measured with the PR 5
+    # benchmark bodies against the seed kernel before the rewrite.
+    cat <<'EOF'
+  "baseline_seed_kernel_pr4": [
+    {"name": "BenchmarkSweepUniformMesh", "ns_per_op": 39228179, "bytes_per_op": 11494164, "allocs_per_op": 210276},
+    {"name": "BenchmarkTableAES_Mesh", "ns_per_op": 2008070, "bytes_per_op": 467379, "allocs_per_op": 12977},
+    {"name": "BenchmarkStepIdle", "ns_per_op": 709.6, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BenchmarkInjectRouted", "ns_per_op": 21327, "bytes_per_op": 1400, "allocs_per_op": 46}
+  ],
+EOF
     echo '  "results": ['
     echo "$raw" | tojson
+    echo '  ],'
+    echo '  "kernel_results": ['
+    echo "$raw_kernel" | tojson
     echo '  ],'
     echo '  "service_results": ['
     echo "$raw_service" | tojson

@@ -26,6 +26,24 @@ if ! cmp -s "$tmp/a.json" "$tmp/b.json"; then
     exit 1
 fi
 
+# The sweep JSON and the single-run report are pinned against goldens
+# captured from the seed (pre-activity-driven) kernel: the simulator may
+# get faster, never different. Regenerate only for deliberate semantic
+# changes (see scripts/golden/).
+if ! cmp -s "$tmp/a.json" scripts/golden/sweep_mesh4x4_smoke.json; then
+    echo "smoke_sweep: sweep JSON drifted from the pinned seed-kernel golden" >&2
+    diff scripts/golden/sweep_mesh4x4_smoke.json "$tmp/a.json" >&2 || true
+    exit 1
+fi
+
+"$tmp/nocsim" -mesh 4x4 -packets 200 -bits 128 -rate 0.05 -seed 3 \
+    > "$tmp/run.txt" 2>/dev/null
+if ! cmp -s "$tmp/run.txt" scripts/golden/nocsim_mesh4x4_run.txt; then
+    echo "smoke_sweep: single-run report drifted from the pinned golden" >&2
+    diff scripts/golden/nocsim_mesh4x4_run.txt "$tmp/run.txt" >&2 || true
+    exit 1
+fi
+
 grep -q '"pattern": "uniform"' "$tmp/a.json"
 grep -q '"saturated": true' "$tmp/a.json"
 if grep -qE '"saturationRate": 0(\.0+)?$' "$tmp/a.json"; then
@@ -34,4 +52,4 @@ if grep -qE '"saturationRate": 0(\.0+)?$' "$tmp/a.json"; then
     exit 1
 fi
 
-echo "smoke_sweep: OK (deterministic, saturation detected)"
+echo "smoke_sweep: OK (deterministic, saturation detected, goldens match)"
