@@ -18,6 +18,16 @@
 //	nocsim -mesh 4x4 -sweep -pattern hotspot -hotspots 0,5 -hotfrac 0.6
 //	nocsim -acg app.json -sweep -rates 0.01,0.05,0.1 -out curve.json
 //
+// Fault injection and adaptive routing compose with both modes:
+// -faults fails named links/routers (optionally mid-run with @cycle) and
+// -routing=adaptive replaces the compiled oblivious table with up*/down*
+// minimal-adaptive selection over an escape virtual channel. Reliability
+// mode reruns the sweep across a ladder of random link fault rates:
+//
+//	nocsim -mesh 4x4 -faults 'link:1-2,router:5@2000' -packets 500
+//	nocsim -mesh 4x4 -sweep -routing adaptive -faults link:1-2
+//	nocsim -mesh 4x4 -faultrates 0,0.05,0.1 -routing adaptive -seed 1
+//
 // Patterns: uniform, transpose, bitcomp, bitrev, shuffle, neighbor,
 // hotspot. -burst layers an on/off Markov-modulated arrival process over
 // any of them. Both modes are deterministic for a fixed -seed.
@@ -38,6 +48,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/noc"
+	"repro/internal/topology"
 
 	repro "repro"
 )
@@ -59,6 +70,11 @@ func main() {
 	hotfrac := flag.Float64("hotfrac", 0.5, "hotspot pattern: fraction of traffic aimed at the hotspots")
 	burst := flag.Float64("burst", 0, "mean burst length in cycles for on/off modulated arrivals (0 = smooth)")
 	burstOn := flag.Float64("burston", 0.25, "long-run ON fraction of the bursty arrival process")
+
+	faults := flag.String("faults", "", "fault spec: comma-separated link:A-B[@cycle] and router:N[@cycle] items")
+	routing := flag.String("routing", "oblivious", "route selection: oblivious (compiled table) or adaptive (up*/down* with escape VC)")
+	faultRates := flag.String("faultrates", "", "reliability mode: comma-separated link fault-rate ladder; reruns the sweep per rate, emits JSON")
+	faultSeed := flag.Int64("faultseed", 1, "seed choosing which links fail per -faultrates step")
 
 	sweep := flag.Bool("sweep", false, "run a saturation sweep across an injection-rate ladder, emit JSON")
 	rates := flag.String("rates", "", "sweep: explicit comma-separated rate ladder (overrides -ratemin/-ratemax/-ratesteps)")
@@ -88,20 +104,37 @@ func main() {
 	cfg := noc.DefaultConfig()
 	cfg.FlitBits = *flitBits
 
+	mode, err := noc.ParseRoutingMode(*routing)
+	check(err)
+	if mode == noc.RoutingAdaptive && cfg.NumVCs < 2 {
+		// Adaptive needs at least one lane beyond the escape VC.
+		cfg.NumVCs = 2
+	}
+	var fm *noc.FaultMap
+	if *faults != "" {
+		fm, err = noc.ParseFaultMap(*faults)
+		check(err)
+	}
+	if *faultRates != "" && *faults != "" {
+		check(fmt.Errorf("-faults and -faultrates are exclusive: the reliability ladder chooses its own fault maps"))
+	}
+
 	// newNet builds a cold simulator over the selected architecture; the
 	// sweep harness calls it once per worker and rewinds it between rate
 	// points, and every network it returns shares one compiled routing
 	// table (built here, once).
 	var newNet func() (*noc.Network, error)
+	var arch *topology.Architecture
 	switch {
 	case *mesh != "":
 		var rows, cols int
 		if _, err := fmt.Sscanf(*mesh, "%dx%d", &rows, &cols); err != nil {
 			check(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
 		}
-		factory, _, err := repro.MeshNetworkFactory(rows, cols, nil, cfg)
+		factory, meshArch, err := repro.MeshNetworkFactory(rows, cols, nil, cfg)
 		check(err)
 		newNet = factory
+		arch = meshArch
 	case *acgPath != "":
 		data, err := os.ReadFile(*acgPath)
 		check(err)
@@ -110,6 +143,7 @@ func main() {
 		res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{Timeout: 60 * time.Second})
 		check(err)
 		newNet = func() (*noc.Network, error) { return res.NewNetwork(cfg) }
+		arch = res.Architecture
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -129,10 +163,10 @@ func main() {
 		burstCfg = &noc.BurstConfig{AvgBurstCycles: *burst, OnFraction: *burstOn}
 	}
 
-	if *sweep {
+	if *sweep || *faultRates != "" {
 		ladder, err := rateLadder(*rates, *rateMin, *rateMax, *rateSteps)
 		check(err)
-		res, err := noc.Sweep(ctx, newNet, noc.SweepConfig{
+		scfg := noc.SweepConfig{
 			Pattern:       pat,
 			Bits:          *bits,
 			Rates:         ladder,
@@ -142,7 +176,14 @@ func main() {
 			Seed:          *seed,
 			Burst:         burstCfg,
 			Parallelism:   *parallel,
-		})
+			Faults:        fm,
+			Routing:       mode,
+		}
+		if *faultRates != "" {
+			runReliability(ctx, arch, newNet, scfg, *faultRates, *faultSeed, *out)
+			return
+		}
+		res, err := noc.Sweep(ctx, newNet, scfg)
 		check(err)
 		sink := os.Stdout
 		if *out != "-" && *out != "" {
@@ -166,6 +207,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nocsim: %s did not saturate within the ladder\n", res.Pattern)
 		}
 		return
+	}
+
+	check(net.SetRouting(mode))
+	if fm != nil {
+		check(net.ResetWithFaults(fm))
 	}
 
 	var trace noc.Trace
@@ -226,6 +272,44 @@ func main() {
 	fmt.Printf("energy: %.3f uJ total (%.3f dynamic + %.3f static)\n",
 		net.EnergyPJ(em)*1e-6, net.DynamicEnergyPJ(em)*1e-6, net.StaticEnergyPJ(em)*1e-6)
 	fmt.Printf("average power: %.1f mW (%s)\n", net.AveragePowerMW(em), em.Name)
+}
+
+// runReliability reruns the injection-rate sweep across the -faultrates
+// ladder (a deterministic connectivity-preserving random link subset per
+// rate) and emits the reliability surface as JSON.
+func runReliability(ctx context.Context, arch *topology.Architecture, newNet func() (*noc.Network, error), scfg noc.SweepConfig, spec string, faultSeed int64, out string) {
+	var frates []float64
+	for _, f := range strings.Split(spec, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			check(fmt.Errorf("bad -faultrates entry %q: %v", f, err))
+		}
+		frates = append(frates, r)
+	}
+	res, err := noc.ReliabilitySweep(ctx, arch, newNet, noc.ReliabilityConfig{
+		Sweep:      scfg,
+		FaultRates: frates,
+		FaultSeed:  faultSeed,
+	})
+	check(err)
+	sink := os.Stdout
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		check(err)
+		sink = f
+	}
+	check(res.EncodeJSON(sink))
+	if sink != os.Stdout {
+		check(sink.Close())
+	}
+	for _, pt := range res.Points {
+		sat := "no saturation"
+		if pt.SaturationRate > 0 {
+			sat = fmt.Sprintf("saturates @ %.4f", pt.SaturationRate)
+		}
+		fmt.Fprintf(os.Stderr, "nocsim: fault rate %.3f (%d links down) delivered %.4f zero-load %.2f peak %.4f %s\n",
+			pt.FaultRate, pt.FailedLinks, pt.DeliveredFraction, pt.ZeroLoadLatency, pt.PeakAccepted, sat)
+	}
 }
 
 // rateLadder parses -rates or generates the linear -ratemin..-ratemax

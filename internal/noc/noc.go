@@ -303,8 +303,11 @@ type outputPort struct {
 	edgeID int32
 
 	// locked identifies the input (slot, vc) currently holding the output
-	// as slot*NumVCs+vc; -1 when free (wormhole lock).
-	locked int32
+	// as slot*NumVCs+vc; -1 when free (wormhole lock). lockedPkt is the
+	// arena slot of the packet holding the lock (0 when free) — the fault
+	// purge uses it to release locks of dropped packets.
+	locked    int32
+	lockedPkt int32
 
 	// credits[vc] is the free downstream buffer space.
 	credits []int
@@ -409,6 +412,24 @@ type Network struct {
 	recycle   bool
 
 	candScratch []int32 // arbitration candidate buffer, reused across calls
+
+	// Fault state (all empty/false on a pristine network). linkDown is
+	// indexed by frozen directed edge id, routerDown by dense router
+	// index; faulted is true once any fault has been applied.
+	// faultQueue[faultIdx:] are the scheduled failures yet to strike,
+	// sorted by cycle.
+	linkDown   []bool
+	routerDown []bool
+	faulted    bool
+	faultQueue []FaultEvent
+	faultIdx   int
+
+	// routing selects the route-resolution path Inject uses; adapt is the
+	// lazily (re)built up*/down* state behind RoutingAdaptive, invalidated
+	// by every topology change (adaptDirty).
+	routing    RoutingMode
+	adapt      *adaptiveState
+	adaptDirty bool
 
 	stats    Stats
 	swTrav   []int64 // switch traversals per router index
@@ -621,7 +642,26 @@ func bigCredits(vcs int) []int {
 // Reset network simulates observably identically to a freshly built one
 // while costing no rebuild — the contract the sweep harness relies on
 // to reuse one network per worker across rate points.
+//
+// Reset also restores the pristine, fault-free topology: every fault a
+// previous ResetWithFaults installed — static or already struck mid-run
+// — is cleared, and the scheduled queue is emptied. A network that ran
+// a fault schedule and was then Reset is indistinguishable from a
+// freshly built one. The routing mode (SetRouting) is retained, like
+// recycling; its adaptive route state is rebuilt against the restored
+// topology on the next adaptive injection.
 func (n *Network) Reset() {
+	if n.faulted || len(n.faultQueue) > 0 {
+		clear(n.linkDown)
+		clear(n.routerDown)
+		n.faulted = false
+		n.faultQueue = nil
+		n.faultIdx = 0
+		n.adaptDirty = true
+	}
+	if n.adapt != nil {
+		n.adapt.laneSeq = 0 // adaptive lane rotation restarts with the run
+	}
 	n.cycle = 0
 	n.pending = 0
 	n.nextID = 0
@@ -645,6 +685,7 @@ func (n *Network) Reset() {
 		}
 		for _, out := range r.outputs {
 			out.locked = -1
+			out.lockedPkt = 0
 			out.rrIndex = 0
 			if out.local {
 				continue // the local sink's credits are never consumed
@@ -715,10 +756,17 @@ func (n *Network) freePacket(p *Packet) {
 	n.freePkts = append(n.freePkts, p)
 }
 
-// Inject queues a packet for injection at the current cycle. The route,
-// per-hop virtual channels and output slots come from the network's
-// compiled routing table — shared read-only plan views, no per-packet
-// resolution or copying; an unroutable packet is an error.
+// Inject queues a packet for injection at the current cycle. In the
+// default oblivious mode the route, per-hop virtual channels and output
+// slots come from the network's compiled routing table — shared
+// read-only plan views, no per-packet resolution or copying; an
+// unroutable packet is an error. In adaptive mode (SetRouting) the
+// route is chosen per packet over the live, fault-masked topology.
+//
+// On a faulted network, a plan that crosses a failed link or router is
+// refused with an error wrapping ErrRouteFaulted and counted under
+// Stats.Blocked (not Injected) — the oblivious table cannot route
+// around faults; that is exactly the gap adaptive mode closes.
 func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, error) {
 	if bits <= 0 {
 		return nil, fmt.Errorf("noc: packet bits %d", bits)
@@ -734,9 +782,16 @@ func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, 
 	if !ok {
 		return nil, fmt.Errorf("noc: no route from %d to unknown node %d", src, dst)
 	}
+	if n.routing == RoutingAdaptive {
+		return n.injectAdaptive(src, dst, bits, tag, si, di)
+	}
 	route, vcs, outSlot, ok := n.plans.PlanByIndex(si, di)
 	if !ok {
 		return nil, fmt.Errorf("noc: no route from %d to %d", src, dst)
+	}
+	if n.faulted && !n.planLive(si, outSlot) {
+		n.stats.Blocked++
+		return nil, fmt.Errorf("noc: %d->%d: %w", src, dst, ErrRouteFaulted)
 	}
 	p := n.allocPacket()
 	p.route, p.vcs, p.outSlot = route, vcs, outSlot
@@ -800,6 +855,11 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 		}
 	}
 	p.ownSlot = append(p.ownSlot, n.routers[prev].localSlot())
+	if n.faulted && !n.planLive(int(srcIdx), p.ownSlot) {
+		n.freePkts = append(n.freePkts, p)
+		n.stats.Blocked++
+		return nil, fmt.Errorf("noc: %d->%d: %w", src, dst, ErrRouteFaulted)
+	}
 	p.route, p.vcs, p.outSlot = p.ownRoute, p.ownVCs, p.ownSlot
 	n.enqueue(p, src, dst, bits, tag, srcIdx)
 	return p, nil
@@ -851,9 +911,14 @@ func (n *Network) InputOccupancy(node graph.NodeID) int {
 	return total
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle. Scheduled faults due this
+// cycle strike first — before link arrivals land — so a flit cannot use
+// an element in the cycle its failure takes effect.
 func (n *Network) Step() {
 	n.cycle++
+	if n.faultIdx < len(n.faultQueue) && n.faultQueue[n.faultIdx].Cycle <= n.cycle {
+		n.fireFaults()
+	}
 	n.deliverArrivals()
 	n.injectFromNIs()
 	n.switchAllocation()
@@ -1020,9 +1085,11 @@ func (n *Network) moveFlit(r *router, out *outputPort, in *inputPort, selSlot, s
 	// Wormhole lock management.
 	if f.isHead {
 		out.locked = selSlot*int32(n.cfg.NumVCs) + selVC
+		out.lockedPkt = f.pktIdx
 	}
 	if f.isTail {
 		out.locked = -1
+		out.lockedPkt = 0
 	}
 
 	// Credit return to upstream (a buffer slot freed at this router).

@@ -15,6 +15,14 @@ type Stats struct {
 	Injected  int64
 	Delivered int64
 
+	// Dropped counts injected packets purged mid-flight because a fault
+	// cut their remaining route, so conservation reads Injected =
+	// Delivered + Pending + Dropped. Blocked counts injections refused
+	// because the route was already dead — those never enter Injected.
+	// Both stay zero on fault-free networks.
+	Dropped int64
+	Blocked int64
+
 	// DeliveredBits counts payload bits of delivered packets.
 	DeliveredBits int64
 
@@ -65,6 +73,7 @@ func (s *Stats) reset() {
 	clear(s.LinkTraversals)
 	clear(s.ByTag)
 	s.Injected, s.Delivered, s.DeliveredBits = 0, 0, 0
+	s.Dropped, s.Blocked = 0, 0
 	s.LatencySum, s.LatencyMax = 0, 0
 	s.LatencyMin = 1<<63 - 1
 }
@@ -194,6 +203,8 @@ func (s Stats) snapshot() Stats {
 type statsJSON struct {
 	Injected         int64               `json:"injected"`
 	Delivered        int64               `json:"delivered"`
+	Dropped          int64               `json:"dropped,omitempty"`
+	Blocked          int64               `json:"blocked,omitempty"`
 	DeliveredBits    int64               `json:"deliveredBits"`
 	LatencySum       int64               `json:"latencySum"`
 	LatencyMax       int64               `json:"latencyMax"`
@@ -209,6 +220,8 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 	out := statsJSON{
 		Injected:      s.Injected,
 		Delivered:     s.Delivered,
+		Dropped:       s.Dropped,
+		Blocked:       s.Blocked,
 		DeliveredBits: s.DeliveredBits,
 		LatencySum:    s.LatencySum,
 		LatencyMax:    s.LatencyMax,
@@ -235,6 +248,10 @@ func (s Stats) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "packets: %d injected, %d delivered (%d bits)\n",
 		s.Injected, s.Delivered, s.DeliveredBits)
+	if s.Dropped > 0 || s.Blocked > 0 {
+		fmt.Fprintf(&b, "faults: %d dropped in flight, %d blocked at injection\n",
+			s.Dropped, s.Blocked)
+	}
 	if s.Delivered > 0 {
 		fmt.Fprintf(&b, "latency: avg %.2f, min %d, max %d cycles\n",
 			s.AvgLatency(), s.LatencyMin, s.LatencyMax)

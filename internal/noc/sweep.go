@@ -3,6 +3,7 @@ package noc
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -50,6 +51,18 @@ type SweepConfig struct {
 	// open-loop network cannot eject packets as fast as the sources offer
 	// them, so the two curves diverge.
 	SaturationThreshold float64
+	// Faults, when non-nil, is installed on every worker network
+	// (ResetWithFaults) before each rate point: static failures are
+	// present from cycle zero, scheduled ones strike mid-point. Offered
+	// load still counts every generated packet; injections the faults
+	// refuse surface as the point's Blocked, purged in-flight packets as
+	// its Dropped, and saturation is judged against the deliverable load
+	// (generated minus blocked and dropped).
+	Faults *FaultMap
+	// Routing selects the route-resolution mode (default oblivious, the
+	// golden-pinned path). Adaptive mode requires the networks to be
+	// built with >= 2 virtual channels.
+	Routing RoutingMode
 }
 
 // RatePoint is the measurement at one offered load.
@@ -77,6 +90,11 @@ type RatePoint struct {
 	// packets ejected in it.
 	Injected  int64 `json:"injected"`
 	Delivered int64 `json:"delivered"`
+	// Blocked counts window injections refused because faults cut the
+	// route; Dropped counts packets purged in flight by a fault striking
+	// inside the window. Both are zero (and omitted) without faults.
+	Blocked int64 `json:"blocked,omitempty"`
+	Dropped int64 `json:"dropped,omitempty"`
 	// MeasuredCycles is the window length (echoed for self-description).
 	MeasuredCycles int64 `json:"measuredCycles"`
 	// Saturated marks offered-vs-accepted divergence at this point.
@@ -86,13 +104,18 @@ type RatePoint struct {
 // SweepResult is the full latency-throughput characterization of one
 // (architecture, pattern) pair.
 type SweepResult struct {
-	Pattern       string      `json:"pattern"`
-	Nodes         int         `json:"nodes"`
-	Bits          int         `json:"bits"`
-	Seed          int64       `json:"seed"`
-	WarmupCycles  int64       `json:"warmupCycles"`
-	MeasureCycles int64       `json:"measureCycles"`
-	Points        []RatePoint `json:"points"`
+	Pattern       string `json:"pattern"`
+	Nodes         int    `json:"nodes"`
+	Bits          int    `json:"bits"`
+	Seed          int64  `json:"seed"`
+	WarmupCycles  int64  `json:"warmupCycles"`
+	MeasureCycles int64  `json:"measureCycles"`
+	// Routing and Faults echo the non-default scenario knobs (omitted for
+	// the default oblivious, fault-free sweep, keeping legacy fixtures
+	// byte-identical). Faults is the fault map's canonical spec string.
+	Routing string      `json:"routing,omitempty"`
+	Faults  string      `json:"faults,omitempty"`
+	Points  []RatePoint `json:"points"`
 	// Saturated reports whether the ladder reached saturation;
 	// SaturationRate is the lowest configured rate whose point diverged
 	// (0 when the ladder never saturates).
@@ -195,9 +218,20 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 						continue
 					}
 					n.SetPacketRecycling(true)
+					if err := n.SetRouting(cfg.Routing); err != nil {
+						errs[i] = err
+						continue
+					}
 					net = n
+				}
+				// Reset (or reinstall the fault scenario) between points;
+				// recycling and the routing mode survive both.
+				if cfg.Faults != nil {
+					if errs[i] = net.ResetWithFaults(cfg.Faults); errs[i] != nil {
+						continue
+					}
 				} else {
-					net.Reset() // recycling survives Reset
+					net.Reset()
 				}
 				points[i], scratch, errs[i] = sweepPoint(ctx, net, cfg, i, scratch)
 			}
@@ -218,6 +252,12 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 		WarmupCycles:  cfg.WarmupCycles,
 		MeasureCycles: cfg.MeasureCycles,
 		Points:        points,
+	}
+	if cfg.Routing != RoutingOblivious {
+		res.Routing = cfg.Routing.String()
+	}
+	if cfg.Faults.Len() > 0 {
+		res.Faults = cfg.Faults.String()
 	}
 	for _, pt := range points {
 		if pt.Saturated {
@@ -263,7 +303,12 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 		for ti < len(trace) && trace[ti].Cycle <= net.cycle {
 			ev := trace[ti]
 			if _, err := net.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil {
-				return pt, trace, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
+				// A fault-blocked source is part of the scenario, not a
+				// harness failure: the event is skipped and the network has
+				// counted it under Stats.Blocked.
+				if !errors.Is(err, ErrRouteFaulted) {
+					return pt, trace, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
+				}
 			}
 			ti++
 		}
@@ -292,9 +337,15 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 		pt.P50Latency = s[len(s)/2]
 		pt.P99Latency = s[(len(s)*99)/100]
 	}
+	pt.Blocked = st.Blocked
+	pt.Dropped = st.Dropped
 	// Saturation: the accepted curve falls measurably short of the
 	// offered one (or nothing is delivered at all while load is offered).
+	// Under faults the comparison is against the deliverable load —
+	// packets the faults refused or destroyed cannot indict the fabric's
+	// capacity (without faults the two loads are identical).
+	deliverable := pt.Offered - float64(st.Blocked+st.Dropped)/(n*window)
 	pt.Saturated = pt.Offered > 0 &&
-		(pt.Delivered == 0 || pt.Accepted < cfg.SaturationThreshold*pt.Offered)
+		(pt.Delivered == 0 || pt.Accepted < cfg.SaturationThreshold*deliverable)
 	return pt, trace, nil
 }

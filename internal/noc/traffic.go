@@ -2,6 +2,7 @@ package noc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,10 +37,12 @@ func (n *Network) Replay(trace Trace, drainLimit int64) error {
 func (n *Network) ReplayContext(ctx context.Context, trace Trace, drainLimit int64) error {
 	i := 0
 	for i < len(trace) {
-		// Inject everything due at or before the current cycle.
+		// Inject everything due at or before the current cycle. Events a
+		// fault blocks are part of the scenario (counted under
+		// Stats.Blocked by the network), not a replay failure.
 		for i < len(trace) && trace[i].Cycle <= n.cycle {
 			ev := trace[i]
-			if _, err := n.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil {
+			if _, err := n.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil && !errors.Is(err, ErrRouteFaulted) {
 				return fmt.Errorf("noc: replay event %d: %w", i, err)
 			}
 			i++
@@ -109,7 +112,7 @@ func (n *Network) ReplayWithContext(ctx context.Context, trace Trace, drainLimit
 			if err != nil {
 				return fmt.Errorf("noc: replay event %d: %w", i, err)
 			}
-			if _, err := n.InjectRouted(ev.Src, ev.Dst, ev.Bits, ev.Tag, route, vcs); err != nil {
+			if _, err := n.InjectRouted(ev.Src, ev.Dst, ev.Bits, ev.Tag, route, vcs); err != nil && !errors.Is(err, ErrRouteFaulted) {
 				return fmt.Errorf("noc: replay event %d: %w", i, err)
 			}
 			i++

@@ -82,8 +82,12 @@ func CompileTable(table Table, arch *topology.Architecture, vc VCAssignment) (*C
 					}
 					slot, ok = csrSlotOf(frz.Out(ri), int32(next))
 					if !ok {
-						return nil, fmt.Errorf("routing: compile %d->%d: route uses missing link %d-%d",
-							src, dst, id, route[i+1])
+						// A stale table compiled against a fault-masked
+						// architecture lands here: the route exists but a
+						// link it uses does not, so the pair is unroutable
+						// on this topology and the typed sentinel applies.
+						return nil, fmt.Errorf("routing: compile %d->%d: route uses missing link %d-%d: %w",
+							src, dst, id, route[i+1], ErrNoRoute)
 					}
 				}
 				hopVC := 0

@@ -8,12 +8,33 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/topology"
 )
+
+// ErrNoRoute is the sentinel every unroutable-pair error matches via
+// errors.Is: a disconnected architecture, a table with no entry for a
+// pair, or a compile over a fault-masked topology with unreachable
+// (src, dst) pairs. Callers working over degraded topologies (the fault
+// injection layer) branch on this instead of string-matching.
+var ErrNoRoute = errors.New("routing: no route")
+
+// UnreachableError is the typed form of ErrNoRoute carrying the pair the
+// routing layer could not connect. It matches ErrNoRoute via errors.Is.
+type UnreachableError struct {
+	Src, Dst graph.NodeID
+}
+
+func (e *UnreachableError) Error() string {
+	return fmt.Sprintf("routing: no route from %d to %d", e.Src, e.Dst)
+}
+
+// Is makes errors.Is(err, ErrNoRoute) succeed for UnreachableError.
+func (e *UnreachableError) Is(target error) bool { return target == ErrNoRoute }
 
 // Table is a deterministic distributed routing table: for every node, the
 // next hop toward every destination. Table[n][d] is undefined for n == d.
@@ -41,7 +62,8 @@ func (t Table) Route(src, dst graph.NodeID) ([]graph.NodeID, error) {
 	for cur != dst {
 		nh, ok := t.NextHop(cur, dst)
 		if !ok {
-			return nil, fmt.Errorf("routing: no entry at node %d for destination %d", cur, dst)
+			return nil, fmt.Errorf("routing: no entry at node %d for destination %d: %w",
+				cur, dst, &UnreachableError{Src: src, Dst: dst})
 		}
 		path = append(path, nh)
 		cur = nh
@@ -114,7 +136,7 @@ func Build(arch *topology.Architecture) (Table, error) {
 		return nil, fmt.Errorf("routing: nil architecture")
 	}
 	if !arch.Connected() {
-		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
+		return nil, fmt.Errorf("routing: architecture %q is disconnected: %w", arch.Name, ErrNoRoute)
 	}
 	t := make(Table)
 
@@ -146,7 +168,7 @@ func Build(arch *topology.Architecture) (Table, error) {
 			}
 			path, ok := graph.PathFromTree(prev, si, di)
 			if !ok {
-				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+				return nil, &UnreachableError{Src: src, Dst: dst}
 			}
 			// Install only the first hop (suffix hops may conflict with
 			// preferred routes of other pairs).
@@ -171,7 +193,7 @@ func BuildShortestPath(arch *topology.Architecture) (Table, error) {
 		return nil, fmt.Errorf("routing: nil architecture")
 	}
 	if !arch.Connected() {
-		return nil, fmt.Errorf("routing: architecture %q is disconnected", arch.Name)
+		return nil, fmt.Errorf("routing: architecture %q is disconnected: %w", arch.Name, ErrNoRoute)
 	}
 	t := make(Table)
 	f := arch.Graph().Freeze()
@@ -185,7 +207,7 @@ func BuildShortestPath(arch *topology.Architecture) (Table, error) {
 			}
 			path, ok := graph.PathFromTree(prev, si, di)
 			if !ok {
-				return nil, fmt.Errorf("routing: no path %d -> %d", src, dst)
+				return nil, &UnreachableError{Src: src, Dst: dst}
 			}
 			if err := t.set(src, dst, ids[path[1]]); err != nil {
 				return nil, err

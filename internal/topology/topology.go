@@ -310,6 +310,54 @@ func FromDecomposition(name string, acg *graph.Graph, d *core.Decomposition, pla
 	return a, nil
 }
 
+// Masked returns a copy of the architecture with the given links removed
+// and every link incident to a down router removed — the degraded
+// topology a fault map leaves behind. The node set is unchanged (a dead
+// router keeps its floorplan slot; it simply has no live links), so
+// frozen views of the masked architecture stay index-compatible with the
+// pristine one. Preferred routes that cross a removed link or a down
+// router are dropped; surviving links keep their length and demand.
+// Unknown link keys and routers are ignored — validation belongs to the
+// fault layer, which knows the fault map's provenance.
+func (a *Architecture) Masked(downLinks [][2]graph.NodeID, downRouters []graph.NodeID) *Architecture {
+	deadNode := make(map[graph.NodeID]bool, len(downRouters))
+	for _, r := range downRouters {
+		deadNode[r] = true
+	}
+	deadLink := make(map[[2]graph.NodeID]bool, len(downLinks))
+	for _, k := range downLinks {
+		if k[0] > k[1] {
+			k[0], k[1] = k[1], k[0]
+		}
+		deadLink[k] = true
+	}
+	m := New(a.Name, a.nodes, a.placement)
+	for key, l := range a.links {
+		if deadLink[key] || deadNode[key[0]] || deadNode[key[1]] {
+			continue
+		}
+		cp := *l
+		m.links[key] = &cp
+	}
+	for pair, route := range a.preferred {
+		alive := true
+		for i, n := range route {
+			if deadNode[n] {
+				alive = false
+				break
+			}
+			if i+1 < len(route) && !m.HasLink(n, route[i+1]) {
+				alive = false
+				break
+			}
+		}
+		if alive {
+			m.preferred[pair] = append([]graph.NodeID(nil), route...)
+		}
+	}
+	return m
+}
+
 // Mesh builds the rows x cols standard mesh baseline over node ids
 // 1..rows*cols in row-major order, with uniform link demand left at zero
 // (the simulator accounts demand dynamically).
