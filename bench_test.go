@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"repro/internal/randgraph"
 	"repro/internal/routing"
 	"repro/internal/tgff"
+	"repro/internal/topology"
 )
 
 func solveOnce(b *testing.B, acg *graph.Graph, opts core.Options) {
@@ -281,6 +283,118 @@ func BenchmarkSweepReset(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ba1k holds the shared 1k-router Barabási–Albert fixture. Routing
+// compilation for 1000 nodes is a few seconds of all-pairs work, so it
+// is built once across every benchmark that needs it, outside timing.
+var ba1k struct {
+	once  sync.Once
+	arch  *topology.Architecture
+	table *routing.CompiledTable
+	err   error
+}
+
+func ba1kFixture(b *testing.B) (*topology.Architecture, *routing.CompiledTable) {
+	b.Helper()
+	ba1k.once.Do(func() {
+		g, err := randgraph.BarabasiAlbert(1000, 2, 8, 64, 5)
+		if err != nil {
+			ba1k.err = err
+			return
+		}
+		arch := topology.New(g.Name(), g.Nodes(), nil)
+		seen := make(map[[2]graph.NodeID]bool)
+		for _, e := range g.Edges() {
+			u, v := e.From, e.To
+			if u > v {
+				u, v = v, u
+			}
+			if u == v || seen[[2]graph.NodeID{u, v}] {
+				continue
+			}
+			seen[[2]graph.NodeID{u, v}] = true
+			if err := arch.AddLink(u, v, 0); err != nil {
+				ba1k.err = err
+				return
+			}
+		}
+		table, err := routing.Build(arch)
+		if err != nil {
+			ba1k.err = err
+			return
+		}
+		vcs, err := routing.AssignVirtualChannels(table, arch, nil)
+		if err != nil {
+			ba1k.err = err
+			return
+		}
+		ba1k.table, ba1k.err = routing.CompileTable(table, arch, vcs)
+		ba1k.arch = arch
+	})
+	if ba1k.err != nil {
+		b.Fatal(ba1k.err)
+	}
+	return ba1k.arch, ba1k.table
+}
+
+// BenchmarkStepIdle1k is BenchmarkStepIdle at 1000 routers: the idle-
+// cycle cost on a scale-free topology ~60x larger than the evaluation
+// mesh. Activity-driven stepping keeps it O(1) — the figure should sit
+// within a few ns of the 4x4 one — which is what makes 1k-router sweep
+// points tractable at all.
+func BenchmarkStepIdle1k(b *testing.B) {
+	arch, table := ba1kFixture(b)
+	net, err := noc.NewCompiled(DefaultNetworkConfig(), arch, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+}
+
+// BenchmarkSweepBA1k times one low-rate, short-window sweep point on
+// the 1k-router scale-free topology through the batch engine: shared
+// compiled table, pooled network, so the timed loop is pure simulation
+// (the one-time routing compilation sits in the fixture). The ns/cycle
+// metric is the scaling readout against the 4x4 mesh benchmarks.
+func BenchmarkSweepBA1k(b *testing.B) {
+	arch, table := ba1kFixture(b)
+	pat, err := noc.NewPattern("uniform", 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := noc.NewNetworkPool()
+	const warmup, measure = 50, 400
+	b.ResetTimer()
+	var last noc.RatePoint
+	for i := 0; i < b.N; i++ {
+		batch := &noc.Batch{
+			Archs: []noc.BatchArch{{Cfg: DefaultNetworkConfig(), Arch: arch, Table: table}},
+			Points: []noc.BatchPoint{{
+				Pattern:      pat,
+				Bits:         128,
+				Rate:         0.005,
+				WarmupCycles: warmup, MeasureCycles: measure,
+				Seed: 7,
+			}},
+			Parallelism: 1,
+			Pool:        pool,
+		}
+		pts, err := batch.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pts[0].Delivered == 0 {
+			b.Fatal("no traffic delivered")
+		}
+		last = pts[0]
+	}
+	b.ReportMetric(last.AvgLatency, "lat-cycles")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(warmup+measure), "ns/cycle")
 }
 
 // BenchmarkAblationBounding quantifies the Figure 3 lower-bound pruning:

@@ -669,46 +669,68 @@ type archSweep struct {
 var batchSweepRates = []float64{0.02, 0.06, 0.12, 0.25}
 
 // sweepArchitecture runs the pattern sweeps over one synthesized
-// architecture. Per-pattern failures are recorded, not fatal: a batch
-// row with a broken sweep still carries its synthesis result.
+// architecture as a single noc.Batch: every pattern x rate point shares
+// the one compiled routing table and one pooled, Reset-reused network
+// instead of paying a network build per pattern. Per-point seeds are the
+// same PointSeed derivation noc.Sweep applies, so the numbers match the
+// per-pattern Sweep calls this replaced byte for byte. Pattern-spec
+// failures are recorded, not fatal: a batch row with a broken sweep
+// still carries its synthesis result.
 func sweepArchitecture(ctx context.Context, arch *topology.Architecture, table routing.Table, vcs routing.VCAssignment, patterns []string, seed int64) []archSweep {
-	cfg := noc.DefaultConfig()
-	// One compiled routing table serves every pattern's sweep networks.
 	ct, err := routing.CompileTable(table, arch, vcs)
 	if err != nil {
 		return []archSweep{{Error: err.Error()}}
 	}
-	newNet := func() (*noc.Network, error) { return noc.NewCompiled(cfg, arch, ct) }
-	out := make([]archSweep, 0, len(patterns))
-	for _, name := range patterns {
-		rec := archSweep{Pattern: name}
+	out := make([]archSweep, len(patterns))
+	batch := &noc.Batch{
+		Archs:       []noc.BatchArch{{Cfg: noc.DefaultConfig(), Arch: arch, Table: ct}},
+		Parallelism: 1, // scenarios already fan out across workers
+	}
+	type coord struct{ pattern, rate int }
+	var coords []coord // batch point index -> (pattern, rate) indices
+	for pi, name := range patterns {
+		out[pi] = archSweep{Pattern: name}
 		p, err := noc.NewPattern(name, len(arch.Nodes()))
-		if err == nil {
-			var res *noc.SweepResult
-			res, err = noc.Sweep(ctx, newNet, noc.SweepConfig{
+		if err != nil {
+			out[pi].Error = err.Error()
+			continue
+		}
+		for ri, rate := range batchSweepRates {
+			batch.Points = append(batch.Points, noc.BatchPoint{
 				Pattern:       p,
 				Bits:          128,
-				Rates:         batchSweepRates,
+				Rate:          rate,
 				WarmupCycles:  300,
 				MeasureCycles: 1500,
-				Seed:          seed,
-				Parallelism:   1, // scenarios already fan out across workers
+				Seed:          noc.PointSeed(seed, ri),
 			})
-			if err == nil {
-				rec.Saturated = res.Saturated
-				rec.SaturationRate = res.SaturationRate
-				rec.ZeroLoadLatency = res.Points[0].AvgLatency
-				for _, pt := range res.Points {
-					if pt.Accepted > rec.PeakAccepted {
-						rec.PeakAccepted = pt.Accepted
-					}
-				}
+			coords = append(coords, coord{pi, ri})
+		}
+	}
+	if len(batch.Points) == 0 {
+		return out
+	}
+	pts, err := batch.Run(ctx)
+	if err != nil {
+		for pi := range out {
+			if out[pi].Error == "" {
+				out[pi].Error = err.Error()
 			}
 		}
-		if err != nil {
-			rec.Error = err.Error()
+		return out
+	}
+	for k, pt := range pts {
+		rec := &out[coords[k].pattern]
+		if coords[k].rate == 0 {
+			rec.ZeroLoadLatency = pt.AvgLatency
 		}
-		out = append(out, rec)
+		if pt.Saturated && !rec.Saturated {
+			rec.Saturated = true
+			rec.SaturationRate = pt.Rate
+		}
+		if pt.Accepted > rec.PeakAccepted {
+			rec.PeakAccepted = pt.Accepted
+		}
 	}
 	return out
 }

@@ -76,6 +76,7 @@ func main() {
 	faultRates := flag.String("faultrates", "", "reliability mode: comma-separated link fault-rate ladder; reruns the sweep per rate, emits JSON")
 	faultSeed := flag.Int64("faultseed", 1, "seed choosing which links fail per -faultrates step")
 
+	simBatch := flag.String("simbatch", "", "batch mode: run a bulk-simulate request file (noc.SimRequest JSON, the /v1/simulate body) locally, emit the canonical SimResponse JSON")
 	sweep := flag.Bool("sweep", false, "run a saturation sweep across an injection-rate ladder, emit JSON")
 	rates := flag.String("rates", "", "sweep: explicit comma-separated rate ladder (overrides -ratemin/-ratemax/-ratesteps)")
 	rateMin := flag.Float64("ratemin", 0.01, "sweep: lowest rate of the generated ladder")
@@ -98,6 +99,11 @@ func main() {
 		<-ctx.Done()
 		cancel()
 	}()
+
+	if *simBatch != "" {
+		runSimBatch(ctx, *simBatch, *parallel, *out)
+		return
+	}
 
 	em, err := energy.ProfileByName(*tech)
 	check(err)
@@ -272,6 +278,36 @@ func main() {
 	fmt.Printf("energy: %.3f uJ total (%.3f dynamic + %.3f static)\n",
 		net.EnergyPJ(em)*1e-6, net.DynamicEnergyPJ(em)*1e-6, net.StaticEnergyPJ(em)*1e-6)
 	fmt.Printf("average power: %.1f mW (%s)\n", net.AveragePowerMW(em), em.Name)
+}
+
+// runSimBatch runs a bulk-simulate request file through the local batch
+// engine — the same noc.RunSim call the /v1/simulate endpoint makes, so
+// the emitted bytes cmp-equal the service's response for the same
+// request at any -parallel setting.
+func runSimBatch(ctx context.Context, path string, parallel int, out string) {
+	data, err := os.ReadFile(path)
+	check(err)
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var req noc.SimRequest
+	check(dec.Decode(&req))
+	res, err := noc.RunSim(ctx, &req, parallel)
+	check(err)
+	sink := os.Stdout
+	if out != "-" && out != "" {
+		f, err := os.Create(out)
+		check(err)
+		sink = f
+	}
+	check(res.EncodeJSON(sink))
+	if sink != os.Stdout {
+		check(sink.Close())
+	}
+	for _, pt := range res.Points {
+		fmt.Fprintf(os.Stderr, "nocsim: arch %d %s rate %.4f accepted %.4f latency %.2f±%.2f%s\n",
+			pt.Arch, pt.Pattern, pt.Rate, pt.Accepted, pt.AvgLatency, pt.LatencyCI95,
+			map[bool]string{true: "  SATURATED"}[pt.Saturated])
+	}
 }
 
 // runReliability reruns the injection-rate sweep across the -faultrates

@@ -1,0 +1,557 @@
+package noc
+
+// Batched multi-point simulation: many (architecture, pattern, rate)
+// points run through one worker fleet, sharing per-architecture
+// compiled routing tables and a pooled-network free-list so the
+// expensive artifacts — route compilation (O(n^2) pairs) and network
+// construction — are paid once per architecture, not once per point.
+// Per-point seeds are absolute and results are written by index, so the
+// output is byte-identical at every parallelism setting. The wire layer
+// (SimRequest/SimResponse) is shared by the nocserve /v1/simulate bulk
+// endpoint and the local CLI runners, which is what makes the two paths
+// byte-comparable end to end.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/randgraph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// NetworkPool is a free-list of simulator networks keyed by compiled-
+// table fingerprint plus hardware config. Keying by table content — not
+// architecture identity — means two CompiledTable instances with equal
+// plans share one pool slot, while equal topologies under different
+// routing tables never do. Safe for concurrent use.
+type NetworkPool struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Network
+}
+
+type poolKey struct {
+	table [32]byte
+	cfg   Config
+}
+
+// NewNetworkPool returns an empty pool.
+func NewNetworkPool() *NetworkPool {
+	return &NetworkPool{free: make(map[poolKey][]*Network)}
+}
+
+// poolKeyFor mirrors NewCompiled's VC widening so the key computed at
+// Acquire (from the caller's config) and at Release (from the built
+// network's config) agree.
+func poolKeyFor(cfg Config, table *routing.CompiledTable) poolKey {
+	if v := table.NumVCs(); cfg.NumVCs < v {
+		cfg.NumVCs = v
+	}
+	return poolKey{table: table.Fingerprint(), cfg: cfg}
+}
+
+// Acquire returns a cold network for (cfg, arch, table): a pooled one
+// rewound by Reset when available, else a fresh NewCompiled build.
+// Sticky per-network toggles (routing mode, packet recycling) survive
+// pooling exactly as they survive Reset, so callers that depend on them
+// reassert them after Acquire.
+func (p *NetworkPool) Acquire(cfg Config, arch *topology.Architecture, table *routing.CompiledTable) (*Network, error) {
+	if table == nil {
+		return nil, fmt.Errorf("noc: pool acquire needs a compiled table")
+	}
+	key := poolKeyFor(cfg, table)
+	p.mu.Lock()
+	if list := p.free[key]; len(list) > 0 {
+		net := list[len(list)-1]
+		list[len(list)-1] = nil
+		p.free[key] = list[:len(list)-1]
+		p.mu.Unlock()
+		net.Reset()
+		return net, nil
+	}
+	p.mu.Unlock()
+	return NewCompiled(cfg, arch, table)
+}
+
+// Release parks a network on the free-list. The network may be dirty
+// (mid-flight traffic, installed faults); the next Acquire rewinds it.
+func (p *NetworkPool) Release(net *Network) {
+	if net == nil {
+		return
+	}
+	key := poolKeyFor(net.cfg, net.plans)
+	p.mu.Lock()
+	p.free[key] = append(p.free[key], net)
+	p.mu.Unlock()
+}
+
+// Idle returns the number of networks currently parked in the pool.
+func (p *NetworkPool) Idle() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, list := range p.free {
+		n += len(list)
+	}
+	return n
+}
+
+// BatchArch is one architecture of a batch: hardware config, topology
+// and the compiled routing table every point referencing it shares.
+type BatchArch struct {
+	Cfg   Config
+	Arch  *topology.Architecture
+	Table *routing.CompiledTable
+}
+
+// BatchPoint is one simulation point. Unlike SweepConfig's rate ladder,
+// every knob — including the generator seed — is absolute and per
+// point, so arbitrary point mixes across architectures batch together.
+type BatchPoint struct {
+	// Arch indexes Batch.Archs.
+	Arch int
+	// Pattern is the spatial pattern, built for the architecture's node
+	// count.
+	Pattern *Pattern
+	// Bits is the packet payload size.
+	Bits int
+	// Rate is the offered load in packets per node per cycle.
+	Rate float64
+	// WarmupCycles/MeasureCycles are the standard warmup-discard windows.
+	WarmupCycles  int64
+	MeasureCycles int64
+	// Batches is the batch-means CI batch count (default 10).
+	Batches int
+	// Seed is the point's absolute traffic-generator seed.
+	Seed int64
+	// Burst optionally layers on/off arrival modulation.
+	Burst *BurstConfig
+	// SaturationThreshold is the accepted/offered divergence bound
+	// (default 0.9).
+	SaturationThreshold float64
+	// Faults, when non-nil, is installed before the point runs.
+	Faults *FaultMap
+	// Routing selects the route-resolution mode (default oblivious).
+	Routing RoutingMode
+}
+
+// Batch runs many simulation points through the shared point fleet.
+type Batch struct {
+	Archs  []BatchArch
+	Points []BatchPoint
+	// Parallelism is the worker count (0 = GOMAXPROCS); results are
+	// byte-identical at every setting.
+	Parallelism int
+	// Pool supplies and reclaims the worker networks. nil uses a
+	// private pool; pass a shared one to keep networks warm across
+	// batches of the same architectures.
+	Pool *NetworkPool
+	// OnPoint, when set, observes point i's network after the point
+	// completes and before the network returns to the pool (the hook
+	// batch output uses to capture per-point Stats). It is called from
+	// worker goroutines — concurrently, but with distinct i — and must
+	// not retain the network. On a failed point the network state is
+	// unspecified.
+	OnPoint func(i int, net *Network)
+}
+
+// Run simulates every point and returns the measurements by point
+// index. The first per-point error aborts the batch.
+func (b *Batch) Run(ctx context.Context) ([]RatePoint, error) {
+	if len(b.Points) == 0 {
+		return nil, fmt.Errorf("noc: batch has no points")
+	}
+	specs := make([]pointSpec, len(b.Points))
+	for i := range b.Points {
+		pt := &b.Points[i]
+		if pt.Arch < 0 || pt.Arch >= len(b.Archs) {
+			return nil, fmt.Errorf("noc: batch point %d references architecture %d of %d", i, pt.Arch, len(b.Archs))
+		}
+		a := &b.Archs[pt.Arch]
+		if a.Arch == nil || a.Table == nil {
+			return nil, fmt.Errorf("noc: batch architecture %d missing topology or compiled table", pt.Arch)
+		}
+		if pt.Pattern == nil {
+			return nil, fmt.Errorf("noc: batch point %d has no pattern", i)
+		}
+		if n := len(a.Arch.Nodes()); pt.Pattern.n != n {
+			return nil, fmt.Errorf("noc: batch point %d pattern built for %d nodes, architecture %d has %d",
+				i, pt.Pattern.n, pt.Arch, n)
+		}
+		if pt.Rate <= 0 || pt.Rate > 1 {
+			return nil, fmt.Errorf("noc: batch point %d rate %g outside (0, 1]", i, pt.Rate)
+		}
+		if pt.Bits <= 0 {
+			return nil, fmt.Errorf("noc: batch point %d packet bits %d", i, pt.Bits)
+		}
+		if pt.WarmupCycles < 0 || pt.MeasureCycles <= 0 {
+			return nil, fmt.Errorf("noc: batch point %d windows warmup=%d measure=%d",
+				i, pt.WarmupCycles, pt.MeasureCycles)
+		}
+		batches := pt.Batches
+		if batches <= 0 {
+			batches = 10
+		}
+		thresh := pt.SaturationThreshold
+		if thresh <= 0 || thresh >= 1 {
+			thresh = 0.9
+		}
+		specs[i] = pointSpec{
+			pattern:      pt.Pattern,
+			bits:         pt.Bits,
+			rate:         pt.Rate,
+			warmup:       pt.WarmupCycles,
+			measure:      pt.MeasureCycles,
+			batches:      batches,
+			seed:         pt.Seed,
+			burst:        pt.Burst,
+			satThreshold: thresh,
+			faults:       pt.Faults,
+			routing:      pt.Routing,
+		}
+	}
+	pool := b.Pool
+	if pool == nil {
+		pool = NewNetworkPool()
+	}
+	return runPoints(ctx, b.Parallelism, specs, func() (func(int) (*Network, error), func(int, *Network)) {
+		get := func(i int) (*Network, error) {
+			a := &b.Archs[b.Points[i].Arch]
+			return pool.Acquire(a.Cfg, a.Arch, a.Table)
+		}
+		put := func(i int, net *Network) {
+			if b.OnPoint != nil {
+				b.OnPoint(i, net)
+			}
+			pool.Release(net)
+		}
+		return get, put
+	})
+}
+
+// maxSimNodes bounds wire-requested topologies: the all-pairs compiled
+// routing table is O(n^2) in node count, so an unbounded request could
+// pin gigabytes server-side.
+const maxSimNodes = 2048
+
+// SimConfig is the wire form of the hardware Config; zero fields take
+// the DefaultConfig values.
+type SimConfig struct {
+	FlitBits     int     `json:"flitBits,omitempty"`
+	BufferFlits  int     `json:"bufferFlits,omitempty"`
+	NumVCs       int     `json:"numVCs,omitempty"`
+	LinkCycles   int     `json:"linkCycles,omitempty"`
+	RouterCycles int     `json:"routerCycles,omitempty"`
+	ClockMHz     float64 `json:"clockMHz,omitempty"`
+}
+
+func (c *SimConfig) resolve() Config {
+	cfg := DefaultConfig()
+	if c == nil {
+		return cfg
+	}
+	if c.FlitBits > 0 {
+		cfg.FlitBits = c.FlitBits
+	}
+	if c.BufferFlits > 0 {
+		cfg.BufferFlits = c.BufferFlits
+	}
+	if c.NumVCs > 0 {
+		cfg.NumVCs = c.NumVCs
+	}
+	if c.LinkCycles > 0 {
+		cfg.LinkCycles = c.LinkCycles
+	}
+	if c.RouterCycles > 0 {
+		cfg.RouterCycles = c.RouterCycles
+	}
+	if c.ClockMHz > 0 {
+		cfg.ClockMHz = c.ClockMHz
+	}
+	return cfg
+}
+
+// SimArch names one architecture of a simulate request. Exactly one of
+// Mesh, BA or Links must be set.
+type SimArch struct {
+	// Name labels the topology (optional).
+	Name string `json:"name,omitempty"`
+	// Mesh is "RxC", e.g. "4x4".
+	Mesh string `json:"mesh,omitempty"`
+	// BA is "n:m:seed": an n-node Barabási–Albert scale-free topology
+	// with m attachments per new node, deterministic in seed.
+	BA string `json:"ba,omitempty"`
+	// Links is an explicit undirected link list over integer node ids;
+	// node set = every id mentioned.
+	Links [][2]graph.NodeID `json:"links,omitempty"`
+}
+
+func (a *SimArch) build(i int) (*topology.Architecture, error) {
+	set := 0
+	if a.Mesh != "" {
+		set++
+	}
+	if a.BA != "" {
+		set++
+	}
+	if len(a.Links) > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("noc: sim architecture %d wants exactly one of mesh, ba or links", i)
+	}
+	switch {
+	case a.Mesh != "":
+		var rows, cols int
+		if _, err := fmt.Sscanf(a.Mesh, "%dx%d", &rows, &cols); err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d bad mesh %q: %v", i, a.Mesh, err)
+		}
+		if rows < 1 || cols < 1 || rows*cols > maxSimNodes {
+			return nil, fmt.Errorf("noc: sim architecture %d mesh %q outside 1..%d nodes", i, a.Mesh, maxSimNodes)
+		}
+		return topology.Mesh(rows, cols, nil)
+	case a.BA != "":
+		var n, m int
+		var seed int64
+		if _, err := fmt.Sscanf(a.BA, "%d:%d:%d", &n, &m, &seed); err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d bad ba %q (want n:m:seed): %v", i, a.BA, err)
+		}
+		if n < 2 || n > maxSimNodes {
+			return nil, fmt.Errorf("noc: sim architecture %d ba node count %d outside 2..%d", i, n, maxSimNodes)
+		}
+		g, err := randgraph.BarabasiAlbert(n, m, 8, 64, seed)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d: %w", i, err)
+		}
+		name := a.Name
+		if name == "" {
+			name = g.Name()
+		}
+		return archFromACG(name, g)
+	default:
+		name := a.Name
+		if name == "" {
+			name = fmt.Sprintf("sim-arch-%d", i)
+		}
+		seen := make(map[graph.NodeID]bool)
+		var nodes []graph.NodeID
+		for _, l := range a.Links {
+			for _, id := range l {
+				if !seen[id] {
+					seen[id] = true
+					nodes = append(nodes, id)
+				}
+			}
+		}
+		if len(nodes) > maxSimNodes {
+			return nil, fmt.Errorf("noc: sim architecture %d has %d nodes, max %d", i, len(nodes), maxSimNodes)
+		}
+		arch := topology.New(name, nodes, nil)
+		for _, l := range a.Links {
+			if arch.HasLink(l[0], l[1]) {
+				continue
+			}
+			if err := arch.AddLink(l[0], l[1], 0); err != nil {
+				return nil, fmt.Errorf("noc: sim architecture %d link %d-%d: %w", i, l[0], l[1], err)
+			}
+		}
+		return arch, nil
+	}
+}
+
+// archFromACG projects a directed application graph onto an undirected
+// communication topology: one link per unordered node pair with an edge
+// in either direction.
+func archFromACG(name string, g *graph.Graph) (*topology.Architecture, error) {
+	arch := topology.New(name, g.Nodes(), nil)
+	seen := make(map[[2]graph.NodeID]bool)
+	for _, e := range g.Edges() {
+		a, b := e.From, e.To
+		if a > b {
+			a, b = b, a
+		}
+		if a == b || seen[[2]graph.NodeID{a, b}] {
+			continue
+		}
+		seen[[2]graph.NodeID{a, b}] = true
+		if err := arch.AddLink(a, b, 0); err != nil {
+			return nil, err
+		}
+	}
+	return arch, nil
+}
+
+// SimPoint is the wire form of one simulate point.
+type SimPoint struct {
+	// Arch indexes the request's archs list.
+	Arch int `json:"arch"`
+	// Pattern is a NewPattern spec ("uniform", "transpose",
+	// "hotspot:0:0.5", ...).
+	Pattern string `json:"pattern"`
+	Bits    int    `json:"bits"`
+	// Rate is the offered load in packets per node per cycle.
+	Rate          float64 `json:"rate"`
+	WarmupCycles  int64   `json:"warmupCycles"`
+	MeasureCycles int64   `json:"measureCycles"`
+	// Batches is the batch-means CI batch count (0 = default 10).
+	Batches int `json:"batches,omitempty"`
+	// Seed is the point's absolute traffic seed.
+	Seed int64 `json:"seed"`
+	// Routing is "oblivious" (default) or "adaptive".
+	Routing string `json:"routing,omitempty"`
+	// IncludeStats attaches the point's measurement-window Stats to the
+	// result, size-aware: per-element maps above the compact threshold
+	// aggregate to min/mean/max (see Stats.CompactJSON).
+	IncludeStats bool `json:"includeStats,omitempty"`
+}
+
+// SimRequest is the bulk simulate submission: shared architectures plus
+// any number of points over them. Runtime knobs (parallelism) are
+// deliberately not part of the request — the answer is byte-identical
+// at every worker count, so they must not split the content address.
+type SimRequest struct {
+	Archs  []SimArch  `json:"archs"`
+	Config *SimConfig `json:"config,omitempty"`
+	Points []SimPoint `json:"points"`
+}
+
+// Canonical returns the deterministic encoding of the (decoded,
+// normalized) request used for content addressing: struct field order
+// is fixed and there are no maps, so semantically identical requests
+// encode identically.
+func (r *SimRequest) Canonical() ([]byte, error) { return json.Marshal(r) }
+
+// BuildBatch compiles a wire request into a runnable Batch: one
+// topology + routing table (Build, AssignVirtualChannels, CompileTable)
+// per architecture, one Pattern per point. The compilation is the
+// expensive part of a simulate call — O(n^2) route pairs — and is paid
+// once per architecture here, never per point.
+func BuildBatch(req *SimRequest) (*Batch, error) {
+	if len(req.Archs) == 0 {
+		return nil, fmt.Errorf("noc: sim request has no architectures")
+	}
+	if len(req.Points) == 0 {
+		return nil, fmt.Errorf("noc: sim request has no points")
+	}
+	cfg := req.Config.resolve()
+	b := &Batch{Archs: make([]BatchArch, len(req.Archs)), Points: make([]BatchPoint, len(req.Points))}
+	for i := range req.Archs {
+		arch, err := req.Archs[i].build(i)
+		if err != nil {
+			return nil, err
+		}
+		table, err := routing.Build(arch)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d routing: %w", i, err)
+		}
+		vcs, err := routing.AssignVirtualChannels(table, arch, nil)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d VC assignment: %w", i, err)
+		}
+		ct, err := routing.CompileTable(table, arch, vcs)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d compile: %w", i, err)
+		}
+		b.Archs[i] = BatchArch{Cfg: cfg, Arch: arch, Table: ct}
+	}
+	for i := range req.Points {
+		sp := &req.Points[i]
+		if sp.Arch < 0 || sp.Arch >= len(b.Archs) {
+			return nil, fmt.Errorf("noc: sim point %d references architecture %d of %d", i, sp.Arch, len(b.Archs))
+		}
+		pat, err := NewPattern(sp.Pattern, len(b.Archs[sp.Arch].Arch.Nodes()))
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
+		}
+		mode, err := ParseRoutingMode(sp.Routing)
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
+		}
+		b.Points[i] = BatchPoint{
+			Arch:          sp.Arch,
+			Pattern:       pat,
+			Bits:          sp.Bits,
+			Rate:          sp.Rate,
+			WarmupCycles:  sp.WarmupCycles,
+			MeasureCycles: sp.MeasureCycles,
+			Batches:       sp.Batches,
+			Seed:          sp.Seed,
+			Routing:       mode,
+		}
+	}
+	return b, nil
+}
+
+// SimPointResult is one point's measurement, echoing its coordinates.
+type SimPointResult struct {
+	Arch    int    `json:"arch"`
+	Pattern string `json:"pattern"`
+	RatePoint
+	// Stats is the point's measurement-window statistics when requested
+	// (IncludeStats), rendered size-aware through Stats.CompactJSON.
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// SimResponse is the bulk simulate answer. The encoding is canonical:
+// byte-identical for a fixed request at every parallelism setting and
+// across the local and service paths.
+type SimResponse struct {
+	Points []SimPointResult `json:"points"`
+}
+
+// EncodeJSON writes the canonical indented JSON form of the response.
+func (r *SimResponse) EncodeJSON(w io.Writer) error {
+	enc, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// RunSim builds and runs a wire request's batch and assembles the
+// canonical response. parallelism is the fleet's worker count (0 =
+// GOMAXPROCS); it affects wall-clock only, never the bytes.
+func RunSim(ctx context.Context, req *SimRequest, parallelism int) (*SimResponse, error) {
+	b, err := BuildBatch(req)
+	if err != nil {
+		return nil, err
+	}
+	b.Parallelism = parallelism
+	statsEnc := make([]json.RawMessage, len(req.Points))
+	var statsErr error
+	var statsErrOnce sync.Once
+	b.OnPoint = func(i int, net *Network) {
+		if !req.Points[i].IncludeStats {
+			return
+		}
+		enc, err := net.Stats().CompactJSON(0)
+		if err != nil {
+			statsErrOnce.Do(func() { statsErr = err })
+			return
+		}
+		statsEnc[i] = enc
+	}
+	points, err := b.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if statsErr != nil {
+		return nil, statsErr
+	}
+	res := &SimResponse{Points: make([]SimPointResult, len(points))}
+	for i, pt := range points {
+		res.Points[i] = SimPointResult{
+			Arch:      req.Points[i].Arch,
+			Pattern:   req.Points[i].Pattern,
+			RatePoint: pt,
+			Stats:     statsEnc[i],
+		}
+	}
+	return res, nil
+}

@@ -168,7 +168,7 @@ const noHop = int16(0x7fff)
 //   - per-VC head mirrors (headWant/headNextVC) and output request
 //     counters (wantCnt) from the filtered rings;
 //   - wormhole locks, released where the locking packet died
-//     (outputPort.lockedPkt identifies it);
+//     (outLockedPkt identifies it);
 //   - credits from the invariant credits[vc] = BufferFlits − downstream
 //     ring occupancy(vc) − in-flight wheel flits landing in that buffer;
 //   - bufFlits and the active/source worklists.
@@ -176,6 +176,8 @@ const noHop = int16(0x7fff)
 // Packet conservation across the run becomes
 // Injected = Delivered + Pending + Dropped.
 func (n *Network) purgeFaulted() {
+	V := int32(n.cfg.NumVCs)
+	B := int32(n.cfg.BufferFlits)
 	// Earliest hop any of each packet's flits still occupies: 0 while the
 	// source NI is still feeding flits, else the minimum over its flits in
 	// input rings (the hop they sit at) and wheel buckets (their landing
@@ -189,16 +191,13 @@ func (n *Network) purgeFaulted() {
 			minHop[i] = 0
 		}
 	}
-	for _, r := range n.routers {
-		for _, in := range r.inputs {
-			for vc := range in.qs {
-				q := &in.qs[vc]
-				for k := int32(0); k < q.n; k++ {
-					f := &q.buf[(q.head+k)%int32(len(q.buf))]
-					if f.hop < minHop[f.pktIdx] {
-						minHop[f.pktIdx] = f.hop
-					}
-				}
+	for lane := range n.ringN {
+		base := int32(lane) * B
+		head := n.ringHead[lane]
+		for k := int32(0); k < n.ringN[lane]; k++ {
+			f := &n.ringBuf[base+(head+k)%B]
+			if f.hop < minHop[f.pktIdx] {
+				minHop[f.pktIdx] = f.hop
 			}
 		}
 	}
@@ -248,33 +247,37 @@ func (n *Network) purgeFaulted() {
 	// Input rings: filter dead flits preserving FIFO order, then rebuild
 	// the head mirrors and request counters from scratch.
 	var scratch []flit
-	for ri, r := range n.routers {
-		clear(r.wantCnt)
+	clear(n.wantCnt)
+	clear(n.bufFlits)
+	for ri := int32(0); ri < int32(n.frz.NodeCount()); ri++ {
+		rBase := n.portOff[ri]
 		total := int32(0)
-		for _, in := range r.inputs {
-			for vc := range in.qs {
-				q := &in.qs[vc]
+		for gi := rBase; gi < n.portOff[ri+1]; gi++ {
+			for vc := int32(0); vc < V; vc++ {
+				lane := gi*V + vc
+				base := lane * B
 				scratch = scratch[:0]
-				for k := int32(0); k < q.n; k++ {
-					f := q.buf[(q.head+k)%int32(len(q.buf))]
+				head := n.ringHead[lane]
+				for k := int32(0); k < n.ringN[lane]; k++ {
+					f := n.ringBuf[base+(head+k)%B]
 					if !drop[f.pktIdx] {
 						scratch = append(scratch, f)
 					}
 				}
-				q.reset()
-				for _, f := range scratch {
-					q.push(f)
-				}
-				if q.n > 0 {
-					h := q.peek()
-					in.headWant[vc] = h.want
-					in.headNextVC[vc] = h.nextVC
-					r.wantCnt[h.want]++
+				clear(n.ringBuf[base : base+B])
+				n.ringHead[lane] = 0
+				n.ringN[lane] = int32(len(scratch))
+				copy(n.ringBuf[base:], scratch)
+				if n.ringN[lane] > 0 {
+					h := &n.ringBuf[base]
+					n.headWant[lane] = h.want
+					n.headNextVC[lane] = h.nextVC
+					n.wantCnt[rBase+int32(h.want)]++
 				} else {
-					in.headWant[vc] = -1
-					in.headNextVC[vc] = 0
+					n.headWant[lane] = -1
+					n.headNextVC[lane] = 0
 				}
-				total += q.n
+				total += n.ringN[lane]
 			}
 		}
 		n.bufFlits[ri] = total
@@ -298,42 +301,29 @@ func (n *Network) purgeFaulted() {
 
 	// Wormhole locks held by dead packets are released; surviving locks
 	// are untouched (their packets' flits were not removed).
-	for _, r := range n.routers {
-		for _, out := range r.outputs {
-			if out.locked >= 0 && drop[out.lockedPkt] {
-				out.locked = -1
-				out.lockedPkt = 0
-			}
+	for g := range n.outLocked {
+		if n.outLocked[g] >= 0 && drop[n.outLockedPkt[g]] {
+			n.outLocked[g] = -1
+			n.outLockedPkt[g] = 0
 		}
 	}
 
-	// Credits, from the invariant.
-	for _, r := range n.routers {
-		for _, out := range r.outputs {
-			if out.local {
-				continue
-			}
-			for c := range out.credits {
-				out.credits[c] = n.cfg.BufferFlits
-			}
+	// Credits, from the invariant: refill to pristine, subtract the
+	// surviving downstream ring occupancy and in-flight wheel flits.
+	copy(n.credits, n.creditsInit)
+	for gi := range n.peer {
+		up := n.peer[gi]
+		if up < 0 {
+			continue
 		}
-	}
-	for _, r := range n.routers {
-		for _, in := range r.inputs {
-			if in.upIdx < 0 {
-				continue
-			}
-			up := n.routers[in.upIdx].outputs[in.upOutSlot]
-			for vc := range in.qs {
-				up.credits[vc] -= int(in.qs[vc].n)
-			}
+		for vc := int32(0); vc < V; vc++ {
+			n.credits[up*V+vc] -= n.ringN[int32(gi)*V+vc]
 		}
 	}
 	for _, bucket := range n.wheel {
 		for _, a := range bucket {
-			in := n.routers[a.to].inputs[a.slot]
-			if in.upIdx >= 0 {
-				n.routers[in.upIdx].outputs[in.upOutSlot].credits[a.f.vc]--
+			if up := n.peer[a.port]; up >= 0 {
+				n.credits[up*V+int32(a.f.vc)]--
 			}
 		}
 	}

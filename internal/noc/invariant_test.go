@@ -24,31 +24,35 @@ import (
 // and fails the test on any divergence from the maintained copies.
 func auditNetwork(t testing.TB, n *Network, when string) {
 	t.Helper()
-	// In-flight flits per (receiver, input slot, vc), from the wheel.
-	type lane struct{ to, slot, vc int32 }
-	inflight := make(map[lane]int)
+	V := int32(n.cfg.NumVCs)
+	// In-flight flits per (global input port, vc), from the wheel.
+	type flight struct{ port, vc int32 }
+	inflight := make(map[flight]int)
 	for _, bucket := range n.wheel {
 		for _, a := range bucket {
-			inflight[lane{a.to, a.slot, int32(a.f.vc)}]++
+			inflight[flight{a.port, int32(a.f.vc)}]++
 		}
 	}
-	for i, r := range n.routers {
+	for i := int32(0); i < int32(n.frz.NodeCount()); i++ {
+		base := n.portOff[i]
+		ports := n.portOff[i+1] - base
 		var total int32
-		for slot, in := range r.inputs {
-			for vc := range in.qs {
-				q := &in.qs[vc]
-				total += q.n
-				if q.n == 0 {
-					if in.headWant[vc] != -1 {
+		for slot := int32(0); slot < ports; slot++ {
+			gi := base + slot
+			for vc := int32(0); vc < V; vc++ {
+				lane := gi*V + vc
+				total += n.ringN[lane]
+				if n.ringN[lane] == 0 {
+					if n.headWant[lane] != -1 {
 						t.Fatalf("%s: router %d input %d vc %d: empty ring but headWant %d",
-							when, i, slot, vc, in.headWant[vc])
+							when, i, slot, vc, n.headWant[lane])
 					}
 					continue
 				}
-				h := q.peek()
-				if in.headWant[vc] != h.want || in.headNextVC[vc] != h.nextVC {
+				h := &n.ringBuf[lane*int32(n.cfg.BufferFlits)+n.ringHead[lane]]
+				if n.headWant[lane] != h.want || n.headNextVC[lane] != h.nextVC {
 					t.Fatalf("%s: router %d input %d vc %d: head mirror (%d,%d) != ring head (%d,%d)",
-						when, i, slot, vc, in.headWant[vc], in.headNextVC[vc], h.want, h.nextVC)
+						when, i, slot, vc, n.headWant[lane], n.headNextVC[lane], h.want, h.nextVC)
 				}
 			}
 		}
@@ -58,39 +62,40 @@ func auditNetwork(t testing.TB, n *Network, when string) {
 		if total > 0 && !n.activeMark[i] {
 			t.Fatalf("%s: router %d holds %d flits but is not on the active worklist", when, i, total)
 		}
-		for slot := range r.outputs {
+		for slot := int32(0); slot < ports; slot++ {
 			var cnt int32
-			for _, in := range r.inputs {
-				for vc := range in.qs {
-					if in.qs[vc].n > 0 && in.headWant[vc] == int16(slot) {
+			for gi := base; gi < base+ports; gi++ {
+				for vc := int32(0); vc < V; vc++ {
+					lane := gi*V + vc
+					if n.ringN[lane] > 0 && n.headWant[lane] == int16(slot) {
 						cnt++
 					}
 				}
 			}
-			if r.wantCnt[slot] != cnt {
+			if n.wantCnt[base+slot] != cnt {
 				t.Fatalf("%s: router %d output %d: wantCnt %d, %d heads request it",
-					when, i, slot, r.wantCnt[slot], cnt)
+					when, i, slot, n.wantCnt[base+slot], cnt)
 			}
 		}
-		for slot, out := range r.outputs {
-			if (out.locked >= 0) != (out.lockedPkt != 0) {
+		for slot := int32(0); slot < ports; slot++ {
+			g := base + slot
+			if (n.outLocked[g] >= 0) != (n.outLockedPkt[g] != 0) {
 				t.Fatalf("%s: router %d output %d: locked %d but lockedPkt %d",
-					when, i, slot, out.locked, out.lockedPkt)
+					when, i, slot, n.outLocked[g], n.outLockedPkt[g])
 			}
-			if out.lockedPkt != 0 && n.pktSlots[out.lockedPkt] == nil {
+			if n.outLockedPkt[g] != 0 && n.pktSlots[n.outLockedPkt[g]] == nil {
 				t.Fatalf("%s: router %d output %d: locked by freed arena slot %d",
-					when, i, slot, out.lockedPkt)
+					when, i, slot, n.outLockedPkt[g])
 			}
-			if out.local {
+			if n.outLocal[g] {
 				continue
 			}
-			down := n.routers[out.toIdx]
-			in := down.inputs[out.downSlot]
-			for vc := range out.credits {
-				want := n.cfg.BufferFlits - int(in.qs[vc].n) - inflight[lane{out.toIdx, out.downSlot, int32(vc)}]
-				if out.credits[vc] != want {
+			down := n.peer[g] // this output feeds the peer input port downstream
+			for vc := int32(0); vc < V; vc++ {
+				want := int32(n.cfg.BufferFlits) - n.ringN[down*V+vc] - int32(inflight[flight{down, vc}])
+				if n.credits[g*V+vc] != want {
 					t.Fatalf("%s: router %d output %d vc %d: credits %d, invariant says %d",
-						when, i, slot, vc, out.credits[vc], want)
+						when, i, slot, vc, n.credits[g*V+vc], want)
 				}
 			}
 		}

@@ -90,15 +90,9 @@ func TestResetWithRecyclingMatchesFresh(t *testing.T) {
 // *Packet references — the drained-network leak detector.
 func retainedPackets(n *Network) int {
 	count := 0
-	for _, r := range n.routers {
-		for _, in := range r.inputs {
-			for vc := range in.qs {
-				for _, f := range in.qs[vc].buf {
-					if f.pktIdx != 0 {
-						count++
-					}
-				}
-			}
+	for _, f := range n.ringBuf {
+		if f.pktIdx != 0 {
+			count++
 		}
 	}
 	for i := range n.srcQueue {

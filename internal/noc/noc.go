@@ -24,10 +24,21 @@
 //     tail. Credits return to the upstream router when a flit leaves an
 //     input buffer.
 //
-// The kernel is allocation-free and activity-driven:
+// The kernel is allocation-free, activity-driven and laid out as struct
+// of arrays:
 //
-//   - Per-VC input FIFOs are fixed-capacity ring buffers (capacity is
-//     BufferFlits, enforced by credits), allocated once at build time.
+//   - All per-port and per-(port, VC) state — ring cursors, head-of-line
+//     mirrors, credit counters, wormhole locks, round-robin pointers,
+//     request counters — lives in flat arrays indexed by a global port
+//     number. Router i's ports occupy the contiguous range
+//     portOff[i]..portOff[i+1] (one slot per neighbor in CSR order, the
+//     local injection/ejection port last), so the Step loop walks dense
+//     contiguous memory instead of chasing per-router port objects. The
+//     layout makes NewCompiled and Reset a handful of bulk
+//     allocations/clears, which is what lets 1k–10k-router topologies
+//     build and reset in microseconds.
+//   - Per-VC input FIFOs are fixed-capacity ring slices of one shared
+//     backing array (capacity is BufferFlits, enforced by credits).
 //   - Packets come from a pooled arena with freelist reuse (opt-in via
 //     SetPacketRecycling), and Inject resolves routes through a
 //     routing.CompiledTable — dense per-(src,dst) route/VC/out-slot plans
@@ -42,10 +53,10 @@
 //
 // Network.Reset rewinds a built network to its cold post-construction
 // state (cycle 0, empty buffers, full credits, zeroed statistics) without
-// rebuilding the wiring, which is how the sweep harness reuses one
-// network per worker across rate points. All of this is behavior
-// preserving: the golden tests pin simulated results byte for byte
-// against the pre-kernel simulator.
+// rebuilding the wiring, which is how the sweep harness and the batch
+// engine's network pool reuse one network across many simulation points.
+// All of this is behavior preserving: the golden tests pin simulated
+// results byte for byte against the pre-kernel simulator.
 package noc
 
 import (
@@ -195,43 +206,6 @@ func flitAt(p *Packet, hop int16, isHead, isTail bool) flit {
 	return f
 }
 
-// flitRing is a fixed-capacity FIFO of flits — one per (input port, VC).
-// Capacity is BufferFlits; credits guarantee it never overflows. pop
-// zeroes the vacated slot so a drained network retains no packet
-// references through ring backing arrays.
-type flitRing struct {
-	buf  []flit
-	head int32
-	n    int32
-}
-
-func (q *flitRing) peek() *flit { return &q.buf[q.head] }
-
-func (q *flitRing) push(f flit) {
-	tail := q.head + q.n
-	if tail >= int32(len(q.buf)) {
-		tail -= int32(len(q.buf))
-	}
-	q.buf[tail] = f
-	q.n++
-}
-
-func (q *flitRing) pop() flit {
-	f := q.buf[q.head]
-	q.buf[q.head] = flit{}
-	q.head++
-	if q.head == int32(len(q.buf)) {
-		q.head = 0
-	}
-	q.n--
-	return f
-}
-
-func (q *flitRing) reset() {
-	clear(q.buf)
-	q.head, q.n = 0, 0
-}
-
 // pktRing is a growable FIFO of packets — the per-router NI source queue.
 // pop nils the vacated slot, fixing the historical head-drop leak where
 // delivered packets stayed reachable through the queue's backing array.
@@ -268,116 +242,55 @@ func (q *pktRing) reset() {
 	q.head, q.n = 0, 0
 }
 
-// inputPort is one router ingress with per-VC FIFOs. The head-of-line
-// flit's routing state is mirrored into headWant/headNextVC on every
-// push/pop, so arbitration reads two int32s per (input, VC) instead of
-// peeking ring buffers.
-type inputPort struct {
-	qs []flitRing // one ring per VC
-
-	// headWant[vc] is the output slot the head flit of VC vc requests, -1
-	// when the queue is empty; headNextVC[vc] is that flit's next-hop VC.
-	headWant   []int16
-	headNextVC []int16
-
-	// upIdx is the dense index of the upstream router (-1 for the local
-	// injection port); upOutSlot is the slot of this router in the
-	// upstream router's outputs, where credits return.
-	upIdx     int32
-	upOutSlot int32
-}
-
-// outputPort is one router egress with wormhole lock and downstream
-// credits.
-type outputPort struct {
-	// toIdx is the dense index of the downstream router; local marks the
-	// ejection port (toIdx is then the router's own index).
-	toIdx int32
-	local bool
-
-	// downSlot is this router's input-port slot at the downstream router.
-	downSlot int32
-
-	// edgeID is the frozen edge id of the directed link this port drives
-	// (-1 for the local port), indexing the dense link-traversal counters.
-	edgeID int32
-
-	// locked identifies the input (slot, vc) currently holding the output
-	// as slot*NumVCs+vc; -1 when free (wormhole lock). lockedPkt is the
-	// arena slot of the packet holding the lock (0 when free) — the fault
-	// purge uses it to release locks of dropped packets.
-	locked    int32
-	lockedPkt int32
-
-	// credits[vc] is the free downstream buffer space.
-	credits []int
-
-	// rrIndex is the round-robin arbitration pointer.
-	rrIndex int
-}
-
-// router is one network node. Ports are indexed by neighbor slot: slot k
-// of both inputs and outputs corresponds to the k-th smallest neighbor,
-// and the last slot is the local injection/ejection port.
-type router struct {
-	id  graph.NodeID
-	idx int32
-
-	nbr     []int32 // ascending neighbor indices (CSR row)
-	inputs  []*inputPort
-	outputs []*outputPort
-
-	// wantCnt[slot] counts buffered head-of-line flits requesting output
-	// slot, maintained incrementally on every head change; switch
-	// allocation arbitrates only outputs with requesters (an output with
-	// none can produce no candidates and no state change).
-	wantCnt []int32
-
-	// portOrder lists the slots sorted by port key — neighbor ids with the
-	// router's own id (the local port key) merged at its sorted position —
-	// the deterministic iteration order of arbitration and switch
-	// allocation.
-	portOrder []int32
-}
-
-// localSlot returns the local port slot of the router.
-func (r *router) localSlot() int32 { return int32(len(r.nbr)) }
-
-// slotOf returns the port slot of neighbor index v via binary search over
-// the sorted neighbor row.
-func (r *router) slotOf(v int32) (int32, bool) {
-	lo, hi := 0, len(r.nbr)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if r.nbr[mid] < v {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(r.nbr) && r.nbr[lo] == v {
-		return int32(lo), true
-	}
-	return 0, false
-}
-
 // arrival is a flit in flight on a link; its landing cycle is implied by
 // the timing-wheel bucket it sits in.
 type arrival struct {
 	to   int32 // dense index of the receiving router
-	slot int32 // input-port slot at the receiver
+	port int32 // global input-port index at the receiver
 	f    flit
 }
 
 // Network is the simulator instance.
+//
+// The kernel state is struct-of-arrays. Router i's ports occupy the
+// contiguous global index range portOff[i]..portOff[i+1]: slot k is its
+// k-th smallest CSR neighbor, and the last slot is the local
+// injection/ejection port. One global port index g names both the
+// ingress and egress sides of the port; the per-(port, VC) lane index is
+// g*NumVCs+vc. All hot Step-loop state — ring cursors, head-of-line
+// mirrors, credits, want counters, wormhole locks — is a flat array over
+// ports or lanes, so a cycle walks dense memory and Reset is a handful
+// of bulk clears.
 type Network struct {
 	cfg   Config
 	arch  *topology.Architecture
 	plans *routing.CompiledTable
 
-	frz     *graph.Frozen
-	routers []*router
-	order   []graph.NodeID
+	frz   *graph.Frozen
+	order []graph.NodeID
+
+	// Port geometry (immutable after build).
+	portOff   []int32 // per router: first global port index; len NodeCount+1
+	peer      []int32 // per port: global index of the same link's port at the other router (-1 for local ports)
+	outTo     []int32 // per port: dense downstream router index (own index for the local port)
+	outEdge   []int32 // per port: frozen directed edge id the output side drives (-1 for local)
+	outLocal  []bool  // per port: true for the local ejection port
+	portOrder []int32 // per router at portOff offsets: local slots in deterministic arbitration key order
+
+	// Per-lane state (lane = global port * NumVCs + vc).
+	ringBuf     []flit  // lane l's FIFO storage is ringBuf[l*BufferFlits:(l+1)*BufferFlits]
+	ringHead    []int32 // per lane: ring head cursor
+	ringN       []int32 // per lane: ring occupancy
+	headWant    []int16 // per lane: output slot the head flit requests, -1 when empty
+	headNextVC  []int16 // per lane: head flit's next-hop VC
+	credits     []int32 // per output lane: free downstream buffer space
+	creditsInit []int32 // pristine credits (BufferFlits, or the local sink's effectively infinite supply)
+
+	// Per-port / per-slot state.
+	outLocked    []int32 // per output port: locking input slot*NumVCs+vc, -1 free (wormhole)
+	outLockedPkt []int32 // per output port: arena slot of the locking packet (0 free)
+	outRR        []int   // per output port: round-robin arbitration pointer
+	wantCnt      []int32 // per (router, slot) at portOff offsets: buffered head flits requesting the slot
 
 	cycle int64
 
@@ -438,6 +351,31 @@ type Network struct {
 	nextID   int
 }
 
+// localPort returns the global index of router i's local port (always
+// its last slot).
+func (n *Network) localPort(i int32) int32 { return n.portOff[i+1] - 1 }
+
+// localSlot returns router i's local port slot (= its degree).
+func (n *Network) localSlot(i int32) int32 { return n.portOff[i+1] - n.portOff[i] - 1 }
+
+// csrSlot returns the position of v in an ascending CSR neighbor row —
+// the port-slot convention shared with routing.CompiledTable.
+func csrSlot(nbr []int32, v int32) (int32, bool) {
+	lo, hi := 0, len(nbr)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nbr[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nbr) && nbr[lo] == v {
+		return int32(lo), true
+	}
+	return 0, false
+}
+
 // New builds a simulator over the architecture and routing table,
 // compiling the table and the deadlock-free VC assignment into dense
 // route plans (the assignment determines NumVCs if cfg.NumVCs is lower).
@@ -456,8 +394,11 @@ func New(cfg Config, arch *topology.Architecture, table routing.Table, vc routin
 
 // NewCompiled builds a simulator over an architecture and a pre-compiled
 // routing table. The compiled plans must come from the same architecture;
-// sharing one CompiledTable across many networks (sweep workers, service
-// simulations) amortizes the route compilation.
+// sharing one CompiledTable across many networks (sweep workers, batch
+// pools, service simulations) amortizes the route compilation. The build
+// itself is a fixed small number of bulk allocations — O(ports) work with
+// no per-router objects — so even 10k-router topologies construct in
+// well under a millisecond.
 func NewCompiled(cfg Config, arch *topology.Architecture, plans *routing.CompiledTable) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -487,6 +428,7 @@ func NewCompiled(cfg Config, arch *topology.Architecture, plans *routing.Compile
 		return nil, fmt.Errorf("noc: compiled table has %d directed edges, architecture has %d links",
 			frz.EdgeCount(), arch.LinkCount())
 	}
+	R := frz.NodeCount()
 	n := &Network{
 		cfg:   cfg,
 		arch:  arch,
@@ -496,141 +438,157 @@ func NewCompiled(cfg Config, arch *topology.Architecture, plans *routing.Compile
 	}
 	n.stats = newStats()
 	n.pktSlots = make([]*Packet, 1) // slot 0 reserved: zero flit = no packet
-	n.swTrav = make([]int64, frz.NodeCount())
+	n.swTrav = make([]int64, R)
 	n.linkTrav = make([]int64, frz.EdgeCount())
-	n.srcQueue = make([]pktRing, frz.NodeCount())
-	n.routers = make([]*router, frz.NodeCount())
-	n.bufFlits = make([]int32, frz.NodeCount())
-	n.activeMark = make([]bool, frz.NodeCount())
-	n.srcMark = make([]bool, frz.NodeCount())
+	n.srcQueue = make([]pktRing, R)
+	n.bufFlits = make([]int32, R)
+	n.activeMark = make([]bool, R)
+	n.srcMark = make([]bool, R)
 	n.wheelDelay = int64(cfg.LinkCycles) + int64(cfg.RouterCycles-1)
 	n.wheel = make([][]arrival, n.wheelDelay+1)
+
+	// Port geometry: one slot per CSR neighbor plus the local port, laid
+	// out contiguously per router.
+	n.portOff = make([]int32, R+1)
+	for i := 0; i < R; i++ {
+		n.portOff[i+1] = n.portOff[i] + int32(frz.OutDegree(i)) + 1
+	}
+	P := int(n.portOff[R])
+	V := cfg.NumVCs
+	n.peer = make([]int32, P)
+	n.outTo = make([]int32, P)
+	n.outEdge = make([]int32, P)
+	n.outLocal = make([]bool, P)
+	n.portOrder = make([]int32, P)
+	n.ringBuf = make([]flit, P*V*cfg.BufferFlits)
+	n.ringHead = make([]int32, P*V)
+	n.ringN = make([]int32, P*V)
+	n.headWant = make([]int16, P*V)
+	n.headNextVC = make([]int16, P*V)
+	n.creditsInit = make([]int32, P*V)
+	n.credits = make([]int32, P*V)
+	n.outLocked = make([]int32, P)
+	n.outLockedPkt = make([]int32, P)
+	n.outRR = make([]int, P)
+	n.wantCnt = make([]int32, P)
 
 	// Wire ports from the frozen adjacency. The architecture graph carries
 	// both directions of every physical link, so the CSR out-row of a
 	// vertex is exactly its neighbor set, ascending.
-	for i := range n.routers {
-		nbr := frz.Out(i)
-		r := &router{
-			id:      frz.IDOf(i),
-			idx:     int32(i),
-			nbr:     nbr,
-			inputs:  make([]*inputPort, len(nbr)+1),
-			outputs: make([]*outputPort, len(nbr)+1),
-			wantCnt: make([]int32, len(nbr)+1),
-		}
-		n.routers[i] = r
-	}
 	maxPorts := 0
-	for i, r := range n.routers {
-		if len(r.nbr)+1 > maxPorts {
-			maxPorts = len(r.nbr) + 1
+	for i := 0; i < R; i++ {
+		base := n.portOff[i]
+		nbr := frz.Out(i)
+		if len(nbr)+1 > maxPorts {
+			maxPorts = len(nbr) + 1
 		}
 		e := frz.OutEdgeStart(i)
-		for k, v := range r.nbr {
-			down := n.routers[v]
-			downSlot, ok := down.slotOf(int32(i))
+		for k, v := range nbr {
+			g := base + int32(k)
+			// The slot of i at neighbor v serves both directions: it is
+			// where this output's flits land and where this input's credits
+			// return.
+			downSlot, ok := csrSlot(frz.Out(int(v)), int32(i))
 			if !ok {
-				return nil, fmt.Errorf("noc: asymmetric link %d-%d", r.id, down.id)
+				return nil, fmt.Errorf("noc: asymmetric link %d-%d", frz.IDOf(i), frz.IDOf(int(v)))
 			}
-			cr := make([]int, cfg.NumVCs)
-			for c := range cr {
-				cr[c] = cfg.BufferFlits
+			n.peer[g] = n.portOff[v] + downSlot
+			n.outTo[g] = v
+			n.outEdge[g] = int32(e + k)
+			n.outLocked[g] = -1
+			for c := 0; c < V; c++ {
+				n.creditsInit[int(g)*V+c] = int32(cfg.BufferFlits)
 			}
-			r.outputs[k] = &outputPort{
-				toIdx:    v,
-				downSlot: downSlot,
-				edgeID:   int32(e + k),
-				locked:   -1,
-				credits:  cr,
-			}
-			r.inputs[k] = n.newInput(v, downSlot)
 		}
-		// Local ports.
-		ls := r.localSlot()
-		r.inputs[ls] = n.newInput(-1, -1)
-		r.outputs[ls] = &outputPort{
-			toIdx:   r.idx,
-			local:   true,
-			edgeID:  -1,
-			locked:  -1,
-			credits: bigCredits(cfg.NumVCs),
+		// Local port: last slot. The local sink's credits are effectively
+		// infinite and never consumed.
+		lg := n.portOff[i+1] - 1
+		n.peer[lg] = -1
+		n.outTo[lg] = int32(i)
+		n.outEdge[lg] = -1
+		n.outLocal[lg] = true
+		n.outLocked[lg] = -1
+		for c := 0; c < V; c++ {
+			n.creditsInit[int(lg)*V+c] = 1 << 30
 		}
 		// Port keys ascend: neighbors below the router's own index, then
 		// the local port, then the rest.
 		pos := 0
-		for pos < len(r.nbr) && r.nbr[pos] < r.idx {
+		for pos < len(nbr) && nbr[pos] < int32(i) {
 			pos++
 		}
-		r.portOrder = make([]int32, 0, len(r.nbr)+1)
+		po := n.portOrder[base:n.portOff[i+1]]
+		w := 0
 		for k := 0; k < pos; k++ {
-			r.portOrder = append(r.portOrder, int32(k))
+			po[w] = int32(k)
+			w++
 		}
-		r.portOrder = append(r.portOrder, ls)
-		for k := pos; k < len(r.nbr); k++ {
-			r.portOrder = append(r.portOrder, int32(k))
+		po[w] = int32(len(nbr)) // local slot
+		w++
+		for k := pos; k < len(nbr); k++ {
+			po[w] = int32(k)
+			w++
 		}
 	}
-	n.candScratch = make([]int32, 0, maxPorts*cfg.NumVCs)
+	copy(n.credits, n.creditsInit)
+	for l := range n.headWant {
+		n.headWant[l] = -1
+	}
+	n.candScratch = make([]int32, 0, maxPorts*V)
 	return n, nil
 }
 
-// newInput builds an input port fed by upstream router upIdx through that
-// router's output slot upOutSlot (-1, -1 for the local injection port).
-func (n *Network) newInput(upIdx, upOutSlot int32) *inputPort {
-	qs := make([]flitRing, n.cfg.NumVCs)
-	headWant := make([]int16, n.cfg.NumVCs)
-	for vc := range qs {
-		qs[vc].buf = make([]flit, n.cfg.BufferFlits)
-		headWant[vc] = -1
+// pushFlit appends f to input port gi's VC ring at router `to`,
+// maintaining the head mirror, the output request counters and the
+// router activity worklist.
+func (n *Network) pushFlit(to, gi int32, f flit) {
+	V := int32(n.cfg.NumVCs)
+	B := int32(n.cfg.BufferFlits)
+	lane := gi*V + int32(f.vc)
+	if n.ringN[lane] == 0 {
+		n.headWant[lane] = f.want
+		n.headNextVC[lane] = f.nextVC
+		n.wantCnt[n.portOff[to]+int32(f.want)]++
 	}
-	return &inputPort{
-		qs:         qs,
-		headWant:   headWant,
-		headNextVC: make([]int16, n.cfg.NumVCs),
-		upIdx:      upIdx,
-		upOutSlot:  upOutSlot,
+	tail := n.ringHead[lane] + n.ringN[lane]
+	if tail >= B {
+		tail -= B
 	}
+	n.ringBuf[lane*B+tail] = f
+	n.ringN[lane]++
+	n.bufFlits[to]++
+	n.markActive(to)
 }
 
-// pushFlit appends f to the input's VC ring, maintaining the head mirror,
-// the output request counters and the router activity worklist.
-func (n *Network) pushFlit(r *router, in *inputPort, f flit) {
-	q := &in.qs[f.vc]
-	if q.n == 0 {
-		in.headWant[f.vc] = f.want
-		in.headNextVC[f.vc] = f.nextVC
-		r.wantCnt[f.want]++
+// popFlit removes the head flit of input port gi's VC ring, maintaining
+// the same incremental state as pushFlit. pop zeroes the vacated slot so
+// a drained network retains no packet references through the shared ring
+// backing array.
+func (n *Network) popFlit(to, gi, vc int32) flit {
+	V := int32(n.cfg.NumVCs)
+	B := int32(n.cfg.BufferFlits)
+	lane := gi*V + vc
+	base := lane * B
+	h := n.ringHead[lane]
+	f := n.ringBuf[base+h]
+	n.ringBuf[base+h] = flit{}
+	h++
+	if h == B {
+		h = 0
 	}
-	q.push(f)
-	n.bufFlits[r.idx]++
-	n.markActive(r.idx)
-}
-
-// popFlit removes the head flit of the input's VC ring, maintaining the
-// same incremental state as pushFlit.
-func (n *Network) popFlit(r *router, in *inputPort, vc int32) flit {
-	q := &in.qs[vc]
-	f := q.pop()
-	r.wantCnt[f.want]--
-	if q.n > 0 {
-		h := q.peek()
-		in.headWant[vc] = h.want
-		in.headNextVC[vc] = h.nextVC
-		r.wantCnt[h.want]++
+	n.ringHead[lane] = h
+	n.ringN[lane]--
+	n.wantCnt[n.portOff[to]+int32(f.want)]--
+	if n.ringN[lane] > 0 {
+		nh := &n.ringBuf[base+h]
+		n.headWant[lane] = nh.want
+		n.headNextVC[lane] = nh.nextVC
+		n.wantCnt[n.portOff[to]+int32(nh.want)]++
 	} else {
-		in.headWant[vc] = -1
+		n.headWant[lane] = -1
 	}
-	n.bufFlits[r.idx]--
+	n.bufFlits[to]--
 	return f
-}
-
-func bigCredits(vcs int) []int {
-	cr := make([]int, vcs)
-	for i := range cr {
-		cr[i] = 1 << 30 // local ejection is an infinite sink
-	}
-	return cr
 }
 
 // Reset rewinds the network to its cold post-construction state: cycle
@@ -640,8 +598,11 @@ func bigCredits(vcs int) []int {
 // packet arena and the packet-recycling mode are retained (re-disable
 // recycling explicitly if the next workload retains packets), so a
 // Reset network simulates observably identically to a freshly built one
-// while costing no rebuild — the contract the sweep harness relies on
-// to reuse one network per worker across rate points.
+// while costing no rebuild — the contract the sweep harness and the
+// batch engine's network pool rely on to reuse one network across
+// simulation points. With the struct-of-arrays layout the rewind is a
+// fixed set of bulk clears over flat arrays: O(ports·VCs) with memclr
+// constants, no per-router pointer walks.
 //
 // Reset also restores the pristine, fault-free topology: every fault a
 // previous ResetWithFaults installed — static or already struck mid-run
@@ -674,27 +635,20 @@ func (n *Network) Reset() {
 		clear(n.wheel[i])
 		n.wheel[i] = n.wheel[i][:0]
 	}
-	for _, r := range n.routers {
-		clear(r.wantCnt)
-		for _, in := range r.inputs {
-			for vc := range in.qs {
-				in.qs[vc].reset()
-				in.headWant[vc] = -1
-				in.headNextVC[vc] = 0
-			}
-		}
-		for _, out := range r.outputs {
-			out.locked = -1
-			out.lockedPkt = 0
-			out.rrIndex = 0
-			if out.local {
-				continue // the local sink's credits are never consumed
-			}
-			for c := range out.credits {
-				out.credits[c] = n.cfg.BufferFlits
-			}
-		}
+	clear(n.ringBuf)
+	clear(n.ringHead)
+	clear(n.ringN)
+	for l := range n.headWant {
+		n.headWant[l] = -1
 	}
+	clear(n.headNextVC)
+	copy(n.credits, n.creditsInit)
+	for g := range n.outLocked {
+		n.outLocked[g] = -1
+	}
+	clear(n.outLockedPkt)
+	clear(n.outRR)
+	clear(n.wantCnt)
 	for i := range n.srcQueue {
 		n.srcQueue[i].reset()
 	}
@@ -821,7 +775,7 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 		return nil, fmt.Errorf("noc: vcs length %d != route length %d", len(vcs), len(route))
 	}
 	// Resolve the route to dense indices and per-hop output slots once.
-	// slotOf doubles as the link-existence check: the frozen adjacency is
+	// csrSlot doubles as the link-existence check: the frozen adjacency is
 	// built from the architecture's links.
 	p := n.allocPacket()
 	p.ownRoute = append(p.ownRoute[:0], route...)
@@ -841,7 +795,7 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 		if i == 0 {
 			srcIdx = int32(ri)
 		} else {
-			slot, ok := n.routers[prev].slotOf(int32(ri))
+			slot, ok := csrSlot(n.frz.Out(prev), int32(ri))
 			if !ok {
 				return fail(fmt.Errorf("noc: route %v uses missing link %d-%d", route, route[i-1], id))
 			}
@@ -854,7 +808,7 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 			return fail(fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs))
 		}
 	}
-	p.ownSlot = append(p.ownSlot, n.routers[prev].localSlot())
+	p.ownSlot = append(p.ownSlot, n.localSlot(int32(prev)))
 	if n.faulted && !n.planLive(int(srcIdx), p.ownSlot) {
 		n.freePkts = append(n.freePkts, p)
 		n.stats.Blocked++
@@ -902,13 +856,12 @@ func (n *Network) InputOccupancy(node graph.NodeID) int {
 	if !ok {
 		return 0
 	}
-	total := 0
-	for _, in := range n.routers[i].inputs {
-		for vc := range in.qs {
-			total += int(in.qs[vc].n)
-		}
+	V := int32(n.cfg.NumVCs)
+	total := int32(0)
+	for _, c := range n.ringN[n.portOff[i]*V : n.portOff[i+1]*V] {
+		total += c
 	}
-	return total
+	return int(total)
 }
 
 // Step advances the simulation by one cycle. Scheduled faults due this
@@ -956,8 +909,7 @@ func (n *Network) deliverArrivals() {
 	bucket := n.wheel[slot]
 	for i := range bucket {
 		a := &bucket[i]
-		r := n.routers[a.to]
-		n.pushFlit(r, r.inputs[a.slot], a.f)
+		n.pushFlit(a.to, a.port, a.f)
 		*a = arrival{} // release the packet reference
 	}
 	n.wheel[slot] = bucket[:0]
@@ -970,6 +922,7 @@ func (n *Network) deliverArrivals() {
 // visited; the per-router work is independent, so worklist order is
 // immaterial.
 func (n *Network) injectFromNIs() {
+	V := int32(n.cfg.NumVCs)
 	keep := n.srcActive[:0]
 	for _, i := range n.srcActive {
 		q := &n.srcQueue[i]
@@ -978,15 +931,14 @@ func (n *Network) injectFromNIs() {
 			continue
 		}
 		keep = append(keep, i)
-		r := n.routers[i]
 		p := q.peek()
-		in := r.inputs[r.localSlot()]
-		vc := p.vcs[0]
-		if int(in.qs[vc].n) >= n.cfg.BufferFlits {
+		gi := n.localPort(i)
+		vc := int32(p.vcs[0])
+		if int(n.ringN[gi*V+vc]) >= n.cfg.BufferFlits {
 			continue
 		}
 		isTail := p.injected == p.flits-1
-		n.pushFlit(r, in, flitAt(p, 0, p.injected == 0, isTail))
+		n.pushFlit(i, gi, flitAt(p, 0, p.injected == 0, isTail))
 		p.injected++
 		if isTail {
 			q.pop()
@@ -1007,10 +959,10 @@ func (n *Network) switchAllocation() {
 	}
 	slices.Sort(n.active)
 	for _, idx := range n.active {
-		r := n.routers[idx]
-		for _, slot := range r.portOrder {
-			if r.wantCnt[slot] > 0 {
-				n.arbitrate(r, slot)
+		base := n.portOff[idx]
+		for _, slot := range n.portOrder[base:n.portOff[idx+1]] {
+			if n.wantCnt[base+slot] > 0 {
+				n.arbitrate(idx, slot)
 			}
 		}
 	}
@@ -1025,82 +977,86 @@ func (n *Network) switchAllocation() {
 	n.active = keep
 }
 
-// arbitrate picks one input VC for the output port at the given slot and
-// moves its head-of-line flit.
-func (n *Network) arbitrate(r *router, outSlot int32) {
-	out := r.outputs[outSlot]
-	numVC := int32(n.cfg.NumVCs)
+// arbitrate picks one input VC for router i's output port at the given
+// local slot and moves its head-of-line flit.
+func (n *Network) arbitrate(i, outSlot int32) {
+	base := n.portOff[i]
+	g := base + outSlot
+	V := int32(n.cfg.NumVCs)
 	want := int16(outSlot)
-	if lk := out.locked; lk >= 0 {
+	local := n.outLocal[g]
+	if lk := n.outLocked[g]; lk >= 0 {
 		// Wormhole fast path: while the output is locked, the only
 		// admissible candidate is the locked (slot, vc) — every other
 		// requester fails the lock filter — and that queue's head, if
 		// any, is the locked packet's next flit (per-VC FIFO order). The
 		// full scan would build a one-element or empty candidate set.
-		slot, vc := lk/numVC, lk%numVC
-		in := r.inputs[slot]
-		if in.headWant[vc] != want {
+		slot, vc := lk/V, lk%V
+		lane := (base+slot)*V + vc
+		if n.headWant[lane] != want {
 			return
 		}
-		if !out.local && out.credits[in.headNextVC[vc]] <= 0 {
+		if !local && n.credits[g*V+int32(n.headNextVC[lane])] <= 0 {
 			return
 		}
-		out.rrIndex++
-		n.moveFlit(r, out, in, slot, vc)
+		n.outRR[g]++
+		n.moveFlit(i, g, slot, vc)
 		return
 	}
 	// cands collects input (slot, vc) pairs encoded as slot*NumVCs+vc, in
 	// ascending port order (the deterministic arbitration domain).
 	cands := n.candScratch[:0]
-	for _, slot := range r.portOrder {
-		in := r.inputs[slot]
-		for vc := int32(0); vc < numVC; vc++ {
+	for _, slot := range n.portOrder[base:n.portOff[i+1]] {
+		laneBase := (base + slot) * V
+		for vc := int32(0); vc < V; vc++ {
 			// headWant is -1 for an empty ring, never matching a slot.
-			if in.headWant[vc] != want {
+			if n.headWant[laneBase+vc] != want {
 				continue
 			}
 			// Credit check for the downstream buffer (the VC of the NEXT
 			// hop governs which buffer the flit lands in).
-			if !out.local && out.credits[in.headNextVC[vc]] <= 0 {
+			if !local && n.credits[g*V+int32(n.headNextVC[laneBase+vc])] <= 0 {
 				continue
 			}
-			cands = append(cands, slot*numVC+vc)
+			cands = append(cands, slot*V+vc)
 		}
 	}
 	if len(cands) == 0 {
 		return
 	}
 	// Round-robin among candidates.
-	key := cands[out.rrIndex%len(cands)]
-	out.rrIndex++
-	n.moveFlit(r, out, r.inputs[key/numVC], key/numVC, key%numVC)
+	key := cands[n.outRR[g]%len(cands)]
+	n.outRR[g]++
+	n.moveFlit(i, g, key/V, key%V)
 }
 
-// moveFlit pops the selected input VC's head flit and moves it through
-// the crossbar: wormhole lock bookkeeping, upstream credit return, and
-// either local ejection or the link send onto the timing wheel.
-func (n *Network) moveFlit(r *router, out *outputPort, in *inputPort, selSlot, selVC int32) {
-	f := n.popFlit(r, in, selVC)
+// moveFlit pops the head flit of router i's input (selSlot, selVC) and
+// moves it through the crossbar to output port g: wormhole lock
+// bookkeeping, upstream credit return, and either local ejection or the
+// link send onto the timing wheel.
+func (n *Network) moveFlit(i, g, selSlot, selVC int32) {
+	V := int32(n.cfg.NumVCs)
+	gi := n.portOff[i] + selSlot
+	f := n.popFlit(i, gi, selVC)
 
 	// Wormhole lock management.
 	if f.isHead {
-		out.locked = selSlot*int32(n.cfg.NumVCs) + selVC
-		out.lockedPkt = f.pktIdx
+		n.outLocked[g] = selSlot*V + selVC
+		n.outLockedPkt[g] = f.pktIdx
 	}
 	if f.isTail {
-		out.locked = -1
-		out.lockedPkt = 0
+		n.outLocked[g] = -1
+		n.outLockedPkt[g] = 0
 	}
 
 	// Credit return to upstream (a buffer slot freed at this router).
-	if in.upIdx >= 0 {
-		up := n.routers[in.upIdx]
-		up.outputs[in.upOutSlot].credits[selVC]++
+	if up := n.peer[gi]; up >= 0 {
+		n.credits[up*V+selVC]++
 	}
 
-	n.swTrav[r.idx]++
+	n.swTrav[i]++
 
-	if out.local {
+	if n.outLocal[g] {
 		// Local ejection. The arena slot is released unconditionally —
 		// the network never pins a delivered packet — and the Packet
 		// struct itself is reclaimed only when recycling is on.
@@ -1126,12 +1082,12 @@ func (n *Network) moveFlit(r *router, out *outputPort, in *inputPort, selSlot, s
 	// remaining router pipeline stages (stage 1 is the allocation cycle
 	// itself). The landing cycle is always cycle+wheelDelay, so the wheel
 	// bucket is fixed at send time.
-	out.credits[f.nextVC]--
-	n.linkTrav[out.edgeID]++
+	n.credits[g*V+int32(f.nextVC)]--
+	n.linkTrav[n.outEdge[g]]++
 	slot := (n.cycle + n.wheelDelay) % int64(len(n.wheel))
 	n.wheel[slot] = append(n.wheel[slot], arrival{
-		to:   out.toIdx,
-		slot: out.downSlot,
+		to:   n.outTo[g],
+		port: n.peer[g],
 		f:    flitAt(n.pktSlots[f.pktIdx], f.hop+1, f.isHead, f.isTail),
 	})
 }
@@ -1140,7 +1096,7 @@ func (n *Network) moveFlit(r *router, out *outputPort, in *inputPort, selSlot, s
 // per physical link (one ingress on each side) plus one local port per
 // router. Static power scales with this.
 func (n *Network) PortCount() int {
-	return 2*n.arch.LinkCount() + len(n.routers)
+	return 2*n.arch.LinkCount() + n.frz.NodeCount()
 }
 
 // DynamicEnergyPJ evaluates the paper's Equation 1 over the simulator's

@@ -210,7 +210,9 @@ type statsJSON struct {
 	LatencyMax       int64               `json:"latencyMax"`
 	LatencyMin       int64               `json:"latencyMin"`
 	SwitchTraversals map[string]int64    `json:"switchTraversals,omitempty"`
+	SwitchCompact    *CompactDist        `json:"switchTraversalsCompact,omitempty"`
 	LinkTraversals   map[string]int64    `json:"linkTraversals,omitempty"`
+	LinkCompact      *CompactDist        `json:"linkTraversalsCompact,omitempty"`
 	ByTag            map[string]TagStats `json:"byTag,omitempty"`
 }
 
@@ -236,6 +238,93 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 	}
 	if len(s.LinkTraversals) > 0 {
 		out.LinkTraversals = make(map[string]int64, len(s.LinkTraversals))
+		for k, v := range s.LinkTraversals {
+			out.LinkTraversals[fmt.Sprintf("%d->%d", k[0], k[1])] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// CompactLinkThreshold is the default per-element map size above which
+// size-aware consumers (sweep/batch output, the simulate endpoint)
+// switch from the full "a->b" maps to the aggregated CompactDist form:
+// past a few hundred routers the per-link map dominates the payload at
+// megabytes per point while carrying little per-reader value.
+const CompactLinkThreshold = 256
+
+// CompactDist is the aggregated view of a per-element traversal map:
+// the element count plus the min/mean/max/total of the counter values.
+type CompactDist struct {
+	Count int     `json:"count"`
+	Min   int64   `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	Total int64   `json:"total"`
+}
+
+// compactDist aggregates counter values (the map keys don't matter).
+func compactDist(n int, vals func(func(int64))) *CompactDist {
+	d := &CompactDist{Count: n, Min: 1<<63 - 1}
+	vals(func(v int64) {
+		d.Total += v
+		if v < d.Min {
+			d.Min = v
+		}
+		if v > d.Max {
+			d.Max = v
+		}
+	})
+	if n == 0 {
+		d.Min = 0
+	} else {
+		d.Mean = float64(d.Total) / float64(n)
+	}
+	return d
+}
+
+// CompactJSON renders the statistics like MarshalJSON, except that any
+// per-element traversal map with more than maxPerElement entries is
+// replaced by its CompactDist aggregate ("switchTraversalsCompact" /
+// "linkTraversalsCompact"). maxPerElement <= 0 applies
+// CompactLinkThreshold. Maps at or under the bound render in full, so
+// small-network output is byte-identical to MarshalJSON.
+func (s Stats) CompactJSON(maxPerElement int) ([]byte, error) {
+	if maxPerElement <= 0 {
+		maxPerElement = CompactLinkThreshold
+	}
+	out := statsJSON{
+		Injected:      s.Injected,
+		Delivered:     s.Delivered,
+		Dropped:       s.Dropped,
+		Blocked:       s.Blocked,
+		DeliveredBits: s.DeliveredBits,
+		LatencySum:    s.LatencySum,
+		LatencyMax:    s.LatencyMax,
+		LatencyMin:    s.MinLatency(),
+		ByTag:         s.ByTag,
+	}
+	switch n := len(s.SwitchTraversals); {
+	case n > maxPerElement:
+		out.SwitchCompact = compactDist(n, func(add func(int64)) {
+			for _, v := range s.SwitchTraversals {
+				add(v)
+			}
+		})
+	case n > 0:
+		out.SwitchTraversals = make(map[string]int64, n)
+		for k, v := range s.SwitchTraversals {
+			out.SwitchTraversals[fmt.Sprintf("%d", k)] = v
+		}
+	}
+	switch n := len(s.LinkTraversals); {
+	case n > maxPerElement:
+		out.LinkCompact = compactDist(n, func(add func(int64)) {
+			for _, v := range s.LinkTraversals {
+				add(v)
+			}
+		})
+	case n > 0:
+		out.LinkTraversals = make(map[string]int64, n)
 		for k, v := range s.LinkTraversals {
 			out.LinkTraversals[fmt.Sprintf("%d->%d", k[0], k[1])] = v
 		}

@@ -167,6 +167,102 @@ func pointSeed(seed int64, i int) int64 {
 	return int64(uint64(seed) + uint64(i)*0x9E3779B97F4A7C15)
 }
 
+// PointSeed is the derivation Sweep applies to produce rate point i's
+// absolute traffic seed from the sweep seed. Batch callers reproducing a
+// Sweep's points byte-for-byte use it to fill BatchPoint.Seed.
+func PointSeed(seed int64, i int) int64 { return pointSeed(seed, i) }
+
+// pointSpec is the fully resolved description of one simulation point —
+// the shared currency of Sweep and Batch. The seed is absolute (Sweep
+// derives per-point seeds via pointSeed before building specs), and
+// defaults (batches, saturation threshold) are already applied.
+type pointSpec struct {
+	pattern      *Pattern
+	bits         int
+	rate         float64
+	warmup       int64
+	measure      int64
+	batches      int
+	seed         int64
+	burst        *BurstConfig
+	satThreshold float64
+	faults       *FaultMap
+	routing      RoutingMode
+}
+
+// runPoints drives the shared point fleet: workers claim spec indices
+// atomically, obtain a network through their worker-local source,
+// rewind it cold (Reset or ResetWithFaults per spec), simulate, and
+// write results by index — so the output is independent of worker count
+// and scheduling. source is invoked once per worker goroutine and
+// returns that worker's (get, put) pair: get may hand back a dirty
+// network (the fleet rewinds it); put returns it after the point
+// completes (a no-op for worker-owned networks, a free-list release for
+// pooled ones). The first per-point error aborts the result.
+func runPoints(ctx context.Context, parallelism int, specs []pointSpec,
+	source func() (get func(i int) (*Network, error), put func(i int, net *Network))) ([]RatePoint, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	points := make([]RatePoint, len(specs))
+	errs := make([]error, len(specs))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			get, put := source()
+			var scratch Trace
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(specs) {
+					return
+				}
+				net, err := get(i)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				sp := &specs[i]
+				// Recycling is always on for harness networks (the fleet
+				// never retains packets past delivery) and the routing mode
+				// is reasserted per point: both are cheap no-ops when
+				// already set, and a pooled network may arrive configured
+				// for a different point.
+				net.SetPacketRecycling(true)
+				if err := net.SetRouting(sp.routing); err != nil {
+					errs[i] = err
+					put(i, net)
+					continue
+				}
+				if sp.faults != nil {
+					if errs[i] = net.ResetWithFaults(sp.faults); errs[i] != nil {
+						put(i, net)
+						continue
+					}
+				} else {
+					net.Reset()
+				}
+				points[i], scratch, errs[i] = simPoint(ctx, net, sp, scratch)
+				put(i, net)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
 // Sweep runs the rate ladder. newNet must build a fresh, cold network
 // over the same architecture; Sweep calls it once per worker and rewinds
 // the network with Reset between rate points (each point still starts
@@ -184,64 +280,43 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 	if cfg.SaturationThreshold <= 0 || cfg.SaturationThreshold >= 1 {
 		cfg.SaturationThreshold = 0.9
 	}
-	workers := cfg.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cfg.Rates) {
-		workers = len(cfg.Rates)
-	}
-
-	points := make([]RatePoint, len(cfg.Rates))
-	errs := make([]error, len(cfg.Rates))
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var net *Network
-			var scratch Trace
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(cfg.Rates) {
-					return
-				}
-				if net == nil {
-					n, err := newNet()
-					if err != nil {
-						errs[i] = err
-						continue
-					}
-					if n.Cycle() != 0 || n.Pending() != 0 {
-						errs[i] = fmt.Errorf("noc: sweep network factory returned a warm network")
-						continue
-					}
-					n.SetPacketRecycling(true)
-					if err := n.SetRouting(cfg.Routing); err != nil {
-						errs[i] = err
-						continue
-					}
-					net = n
-				}
-				// Reset (or reinstall the fault scenario) between points;
-				// recycling and the routing mode survive both.
-				if cfg.Faults != nil {
-					if errs[i] = net.ResetWithFaults(cfg.Faults); errs[i] != nil {
-						continue
-					}
-				} else {
-					net.Reset()
-				}
-				points[i], scratch, errs[i] = sweepPoint(ctx, net, cfg, i, scratch)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	specs := make([]pointSpec, len(cfg.Rates))
+	for i, r := range cfg.Rates {
+		specs[i] = pointSpec{
+			pattern:      cfg.Pattern,
+			bits:         cfg.Bits,
+			rate:         r,
+			warmup:       cfg.WarmupCycles,
+			measure:      cfg.MeasureCycles,
+			batches:      cfg.Batches,
+			seed:         pointSeed(cfg.Seed, i),
+			burst:        cfg.Burst,
+			satThreshold: cfg.SaturationThreshold,
+			faults:       cfg.Faults,
+			routing:      cfg.Routing,
 		}
+	}
+	points, err := runPoints(ctx, cfg.Parallelism, specs, func() (func(int) (*Network, error), func(int, *Network)) {
+		// Each worker owns one factory-built network for its whole run.
+		var net *Network
+		get := func(int) (*Network, error) {
+			if net != nil {
+				return net, nil
+			}
+			n, err := newNet()
+			if err != nil {
+				return nil, err
+			}
+			if n.Cycle() != 0 || n.Pending() != 0 {
+				return nil, fmt.Errorf("noc: sweep network factory returned a warm network")
+			}
+			net = n
+			return net, nil
+		}
+		return get, func(int, *Network) {}
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &SweepResult{
@@ -269,26 +344,26 @@ func Sweep(ctx context.Context, newNet func() (*Network, error), cfg SweepConfig
 	return res, nil
 }
 
-// sweepPoint simulates one rate of the ladder on a cold network:
-// generate the open-loop schedule over warmup+measure cycles (into the
-// worker's reusable scratch buffer), run the warmup with statistics
-// discarded at its end (ResetStats), then measure. The (possibly grown)
-// trace buffer is returned to the caller for the next point.
-func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scratch Trace) (RatePoint, Trace, error) {
-	pt := RatePoint{Rate: cfg.Rates[i], MeasuredCycles: cfg.MeasureCycles}
-	horizon := cfg.WarmupCycles + cfg.MeasureCycles
-	trace, err := GenerateTraceInto(scratch, cfg.Pattern, TrafficConfig{
+// simPoint simulates one point on a cold network: generate the
+// open-loop schedule over warmup+measure cycles (into the worker's
+// reusable scratch buffer), run the warmup with statistics discarded at
+// its end (ResetStats), then measure. The (possibly grown) trace buffer
+// is returned to the caller for the next point.
+func simPoint(ctx context.Context, net *Network, sp *pointSpec, scratch Trace) (RatePoint, Trace, error) {
+	pt := RatePoint{Rate: sp.rate, MeasuredCycles: sp.measure}
+	horizon := sp.warmup + sp.measure
+	trace, err := GenerateTraceInto(scratch, sp.pattern, TrafficConfig{
 		Nodes: net.Nodes(),
-		Bits:  cfg.Bits,
-		Rate:  cfg.Rates[i],
-		Seed:  pointSeed(cfg.Seed, i),
-		Burst: cfg.Burst,
+		Bits:  sp.bits,
+		Rate:  sp.rate,
+		Seed:  sp.seed,
+		Burst: sp.burst,
 	}, horizon)
 	if err != nil {
 		return pt, trace, err
 	}
 	for _, ev := range trace {
-		if ev.Cycle >= cfg.WarmupCycles {
+		if ev.Cycle >= sp.warmup {
 			pt.Injected++
 		}
 	}
@@ -296,7 +371,7 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 	var lats []float64
 	ti := 0
 	for net.cycle < horizon {
-		if net.cycle == cfg.WarmupCycles {
+		if net.cycle == sp.warmup {
 			net.ResetStats()
 			net.OnEject(func(p *Packet) { lats = append(lats, float64(p.Latency())) })
 		}
@@ -307,7 +382,7 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 				// harness failure: the event is skipped and the network has
 				// counted it under Stats.Blocked.
 				if !errors.Is(err, ErrRouteFaulted) {
-					return pt, trace, fmt.Errorf("noc: sweep rate %g event %d: %w", cfg.Rates[i], ti, err)
+					return pt, trace, fmt.Errorf("noc: sweep rate %g event %d: %w", sp.rate, ti, err)
 				}
 			}
 			ti++
@@ -324,11 +399,11 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 
 	st := net.Stats()
 	n := float64(len(net.Nodes()))
-	window := float64(cfg.MeasureCycles)
+	window := float64(sp.measure)
 	pt.Offered = float64(pt.Injected) / (n * window)
 	pt.Delivered = st.Delivered
 	pt.Accepted = float64(st.Delivered) / (n * window)
-	pt.AvgLatency, pt.LatencyCI95 = stats.BatchMeans(lats, cfg.Batches)
+	pt.AvgLatency, pt.LatencyCI95 = stats.BatchMeans(lats, sp.batches)
 	pt.MinLatency = st.MinLatency()
 	pt.MaxLatency = st.LatencyMax
 	if len(lats) > 0 {
@@ -346,6 +421,6 @@ func sweepPoint(ctx context.Context, net *Network, cfg SweepConfig, i int, scrat
 	// capacity (without faults the two loads are identical).
 	deliverable := pt.Offered - float64(st.Blocked+st.Dropped)/(n*window)
 	pt.Saturated = pt.Offered > 0 &&
-		(pt.Delivered == 0 || pt.Accepted < cfg.SaturationThreshold*deliverable)
+		(pt.Delivered == 0 || pt.Accepted < sp.satThreshold*deliverable)
 	return pt, trace, nil
 }

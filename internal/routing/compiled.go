@@ -1,7 +1,10 @@
 package routing
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/topology"
@@ -37,6 +40,9 @@ type CompiledTable struct {
 	nodes   []graph.NodeID
 	vcs     []int
 	outSlot []int32
+
+	fpOnce sync.Once
+	fp     [32]byte
 }
 
 // CompileTable flattens a routing table and its deadlock-free VC
@@ -124,6 +130,54 @@ func csrSlotOf(nbr []int32, v int32) (int32, bool) {
 		return int32(lo), true
 	}
 	return 0, false
+}
+
+// Fingerprint returns a content hash of the compiled plans: two tables
+// with equal fingerprints route identically over identical topologies,
+// so simulator state built against one is interchangeable with state
+// built against the other (the keying contract of noc's network pool).
+// The hash covers the frozen topology's canonical hash, the VC count,
+// and every plan position — start spans, vcs and outSlot; route node
+// ids are determined by the topology plus outSlot, so they need no
+// separate coverage. Computed lazily once and memoized.
+func (ct *CompiledTable) Fingerprint() [32]byte {
+	ct.fpOnce.Do(func() {
+		h := sha256.New()
+		h.Write([]byte{1}) // fingerprint layout version
+		sum := ct.frz.CanonicalHash()
+		h.Write(sum[:])
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(ct.numVCs))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(ct.start)))
+		h.Write(buf[:])
+		// Stream the plan arrays through a chunk buffer: one Write per
+		// ~16k entries rather than one per entry.
+		chunk := make([]byte, 0, 64<<10)
+		flush := func(force bool) {
+			if len(chunk) > 0 && (force || len(chunk)+8 > cap(chunk)) {
+				h.Write(chunk)
+				chunk = chunk[:0]
+			}
+		}
+		for _, v := range ct.start {
+			chunk = binary.LittleEndian.AppendUint32(chunk, uint32(v))
+			flush(false)
+		}
+		flush(true)
+		for _, v := range ct.vcs {
+			chunk = binary.LittleEndian.AppendUint32(chunk, uint32(v))
+			flush(false)
+		}
+		flush(true)
+		for _, v := range ct.outSlot {
+			chunk = binary.LittleEndian.AppendUint32(chunk, uint32(v))
+			flush(false)
+		}
+		flush(true)
+		copy(ct.fp[:], h.Sum(nil))
+	})
+	return ct.fp
 }
 
 // Frozen returns the CSR view the plans were compiled against. Consumers

@@ -43,7 +43,7 @@ func BenchmarkServiceColdSolve(b *testing.B) {
 // BenchmarkServiceCacheHit measures the amortized path: the same
 // submission against a primed cache — hashing plus store lookup, no
 // solver. The cold/hit ratio is the service's whole value proposition,
-// recorded per PR in BENCH_pr3.json.
+// recorded per run in BENCH_trajectory.json.
 func BenchmarkServiceCacheHit(b *testing.B) {
 	acg, err := tgff.Generate(tgff.DefaultConfig(10, 1))
 	if err != nil {

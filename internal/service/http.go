@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/noc"
 
 	repro "repro"
 )
@@ -108,6 +109,9 @@ type SubmitResponse struct {
 //
 //	POST /v1/synthesize[?wait=1]  submit an ACG; with wait=1 the response
 //	                              is the canonical result JSON
+//	POST /v1/simulate[?wait=1]    submit a bulk simulation batch (body is
+//	                              a noc.SimRequest); with wait=1 the
+//	                              response is the canonical SimResponse
 //	GET  /v1/jobs/{id}            job status
 //	GET  /v1/results/{key}        canonical result bytes by content address
 //	GET  /healthz                 liveness + drain state
@@ -116,6 +120,9 @@ func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSynthesize(w, r)
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSimulate(w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := s.JobByID(r.PathValue("id"))
@@ -174,6 +181,27 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	wait := r.URL.Query().Get("wait") != ""
 
 	job, path, err := s.Submit(Request{ACG: req.Graph, Options: opts, Wait: wait})
+	s.respondSubmitted(w, r, job, path, wait, err)
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req noc.SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	wait := r.URL.Query().Get("wait") != ""
+
+	job, path, err := s.SubmitSimulate(SimulateRequest{Sim: &req, Wait: wait})
+	s.respondSubmitted(w, r, job, path, wait, err)
+}
+
+// respondSubmitted finishes a submission handler: map submission errors,
+// answer async submissions with the job handle, and block attended ones
+// until the job's canonical result bytes are ready.
+func (s *Service) respondSubmitted(w http.ResponseWriter, r *http.Request, job *Job, path string, wait bool, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, err.Error())
@@ -199,7 +227,7 @@ func (s *Service) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Attended submission: block until the solve finishes, canceling our
+	// Attended submission: block until the job finishes, canceling our
 	// stake if the client goes away first.
 	if err := job.Wait(r.Context()); err != nil {
 		job.Release()

@@ -38,6 +38,13 @@ type Job struct {
 	acg  *graph.Graph
 	opts repro.Options
 
+	// kind discriminates the job families sharing the queue; the zero
+	// value is a synthesis job. runFn, when set, replaces the solver
+	// call: it produces the job's canonical encoded result (the simulate
+	// path points it at noc.RunSim).
+	kind  string
+	runFn func(ctx context.Context) ([]byte, error)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -178,6 +185,7 @@ type ResultSummary struct {
 type Status struct {
 	ID          string         `json:"id"`
 	Key         string         `json:"key"`
+	Kind        string         `json:"kind,omitempty"`
 	State       State          `json:"state"`
 	FromCache   bool           `json:"fromCache,omitempty"`
 	SubmittedAt time.Time      `json:"submittedAt"`
@@ -195,6 +203,7 @@ func (j *Job) Status() Status {
 	st := Status{
 		ID:          j.ID,
 		Key:         j.Key,
+		Kind:        j.kind,
 		State:       j.state,
 		FromCache:   j.fromCache,
 		SubmittedAt: j.Submitted,
@@ -211,7 +220,9 @@ func (j *Job) Status() Status {
 			st.ElapsedSec = j.finished.Sub(j.started).Seconds()
 		}
 	}
-	done := j.state == StateDone
+	// The summary decodes a synthesis result; other job kinds (simulate)
+	// carry payloads with no compact view, so they skip it.
+	done := j.state == StateDone && j.kind == ""
 	enc := j.encoded
 	j.mu.Unlock()
 

@@ -271,7 +271,19 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 	}
 	key := CacheKey(req.ACG, opts, s.lib)
 	s.Metrics.JobsSubmitted.Add(1)
+	return s.submitKeyed(key, req.Wait, func() *Job {
+		job := s.newJobLocked(key, req.Wait)
+		job.acg = req.ACG
+		job.opts = opts
+		return job
+	})
+}
 
+// submitKeyed is the submission core shared by every job kind: coalesce
+// onto an in-flight job for the key, serve from the result cache, or
+// register and enqueue the job build() constructs (build runs with s.mu
+// held and must register via newJobLocked).
+func (s *Service) submitKeyed(key string, wait bool, build func() *Job) (*Job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -284,7 +296,7 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 	// one of them and a duplicate solve cannot slip through the gap.
 	if job := s.inflight[key]; job != nil {
 		s.Metrics.JobsCoalesced.Add(1)
-		job.attach(req.Wait)
+		job.attach(wait)
 		return job, "coalesced", nil
 	}
 	if val, ok, err := s.store.Get(key); err != nil {
@@ -293,11 +305,11 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 	} else if ok {
 		s.Metrics.CacheHits.Add(1)
 		s.Metrics.JobsDone.Add(1)
-		job := s.newJobLocked(key, req, opts)
+		job := build()
 		job.finishCached(val)
 		return job, "cache", nil
 	}
-	job := s.newJobLocked(key, req, opts)
+	job := build()
 	select {
 	case s.queue <- job:
 	default:
@@ -316,8 +328,10 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 	return job, "queued", nil
 }
 
-// newJobLocked registers a fresh job; the caller holds s.mu.
-func (s *Service) newJobLocked(key string, req Request, opts repro.Options) *Job {
+// newJobLocked registers a fresh job shell; the caller holds s.mu and
+// fills in the kind-specific fields (acg+opts, or runFn) before
+// releasing it.
+func (s *Service) newJobLocked(key string, wait bool) *Job {
 	s.seq++
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job := &Job{
@@ -325,14 +339,12 @@ func (s *Service) newJobLocked(key string, req Request, opts repro.Options) *Job
 		Key:       key,
 		Submitted: time.Now(),
 		svc:       s,
-		acg:       req.ACG,
-		opts:      opts,
 		state:     StateQueued,
 		ctx:       ctx,
 		cancel:    cancel,
 		done:      make(chan struct{}),
 	}
-	if req.Wait {
+	if wait {
 		job.waiters = 1
 	} else {
 		job.detached = true
@@ -420,13 +432,20 @@ func (s *Service) run(job *Job) {
 	solveCtx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
 	start := time.Now()
-	res, err := s.solve(solveCtx, job.acg, opts)
-	s.Metrics.ObserveSolve(time.Since(start))
-
-	var enc []byte
-	if err == nil {
-		enc, err = res.EncodeJSON()
+	var (
+		res *repro.Result
+		enc []byte
+		err error
+	)
+	if job.runFn != nil {
+		enc, err = job.runFn(solveCtx)
+	} else {
+		res, err = s.solve(solveCtx, job.acg, opts)
+		if err == nil {
+			enc, err = res.EncodeJSON()
+		}
 	}
+	s.Metrics.ObserveSolve(time.Since(start))
 	s.finishJob(job, res, enc, err)
 }
 
@@ -439,7 +458,11 @@ func (s *Service) run(job *Job) {
 // as the canonical answer for the key. A cache-write fault is counted,
 // not fatal: the solve succeeded and its result belongs to the waiters.
 func (s *Service) finishJob(job *Job, res *repro.Result, enc []byte, err error) {
-	cacheable := err == nil && res != nil && !res.Stats.TimedOut && !res.Stats.Canceled
+	// Custom-run jobs (simulate) either complete deterministically or
+	// return an error — any successful encoding is the canonical answer.
+	// Solver jobs additionally require an untruncated result.
+	cacheable := err == nil &&
+		(job.runFn != nil || (res != nil && !res.Stats.TimedOut && !res.Stats.Canceled))
 	if cacheable {
 		if perr := s.store.Put(job.Key, enc); perr != nil {
 			s.Metrics.StoreErrors.Add(1)
