@@ -13,6 +13,7 @@
 //	experiments -fig 6          # AES ACG decomposition + architecture
 //	experiments -table aes      # Section 5.2 prototype comparison
 //	experiments -table aes -routing sp   # routing ablation
+//	experiments -table frontier # ε-constraint cost-vs-latency frontiers
 //	experiments -all            # everything
 //	experiments -batch          # concurrent scenario sweep -> JSON
 //
@@ -70,6 +71,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/floorplan"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/noc"
 	"repro/internal/primitives"
@@ -85,7 +87,7 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure to regenerate: 1, 2, 4a, 4b, 5, 6")
-	table := flag.String("table", "", "table to regenerate: aes, routing, floorplan, reliability")
+	table := flag.String("table", "", "table to regenerate: aes, routing, floorplan, reliability, frontier")
 	routingMode := flag.String("routing", "schedule", "custom-topology routing: schedule or sp")
 	all := flag.Bool("all", false, "run every experiment")
 	seeds := flag.Int("seeds", 5, "random seeds per point for figure 4 sweeps")
@@ -139,6 +141,8 @@ func main() {
 		runTableFloorplan(ctx)
 	case *table == "reliability":
 		runTableReliability(ctx)
+	case *table == "frontier":
+		runTableFrontier(ctx)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -933,6 +937,95 @@ func runScenarioRemote(ctx context.Context, serveURL string, sc scenario, sweepP
 		r.Sweeps = sweepArchitecture(ctx, res.Architecture, res.Routing, res.VCs, sweepPatterns, sc.Seed)
 	}
 	return r
+}
+
+// runTableFrontier regenerates the EXPERIMENTS.md ε-constraint frontier
+// tables: for each scenario the warm-started sweep (internal/frontier)
+// enumerates the cost-vs-latency Pareto frontier, and every grid solve is
+// re-run cold (no incumbent seed, fresh match cache) to measure what the
+// warm start saves. AES additionally carries the simulated zero-load
+// latency of each point (noc.Batch at a near-zero injection rate).
+func runTableFrontier(ctx context.Context) {
+	scenarios := []struct {
+		name     string
+		acg      *graph.Graph
+		points   int
+		validate bool
+	}{
+		{"aes-links", repro.AESACG(0.1), 8, true},
+		{"fig5-links", randgraph.PaperFig5(16), 6, false},
+	}
+	if ba, err := randgraph.BarabasiAlbert(12, 2, 8, 64, 7); err == nil {
+		scenarios = append(scenarios, struct {
+			name     string
+			acg      *graph.Graph
+			points   int
+			validate bool
+		}{"ba-scalefree", ba, 6, false})
+	}
+
+	for _, sc := range scenarios {
+		base := repro.Options{Mode: repro.CostLinks, MatchLimit: 1, Parallelism: 1}
+		fopts := frontier.Options{Points: sc.points, Synth: base}
+		if sc.validate {
+			fopts.Validate = &frontier.Validate{Seed: 1}
+		}
+		res, err := frontier.Enumerate(ctx, sc.acg, fopts)
+		if err != nil {
+			check(fmt.Errorf("frontier sweep %s: %w", sc.name, err))
+		}
+
+		fmt.Printf("=== Frontier: %s (%d nodes, %d edges, links mode, %d-value ε grid) ===\n",
+			sc.name, sc.acg.NodeCount(), sc.acg.EdgeCount(), len(res.Grid))
+		fmt.Printf("anchor: cost %g, avg hops %.4f; %d non-dominated points in %.3f s\n",
+			res.Anchor.Decomposition.Cost, res.Anchor.Decomposition.AvgHops,
+			len(res.Points), res.Elapsed.Seconds())
+		header := fmt.Sprintf("%-8s %8s %9s %8s %9s %11s %11s %9s %9s",
+			"ε", "cost", "avg hops", "emitted", "warm", "warm nodes", "cold nodes", "warm ms", "cold ms")
+		if sc.validate {
+			header += fmt.Sprintf(" %10s", "sim cycles")
+		}
+		fmt.Println(header)
+
+		measured := make(map[int]float64)
+		for _, p := range res.Points {
+			measured[p.Index] = p.MeasuredLatency
+		}
+		emittedIdx := 0
+		for _, gp := range res.Grid {
+			// Cold reference: same ε ceiling (slack applied exactly as the
+			// sweep applies it), no incumbent seed, private match cache.
+			cold := base
+			cold.MaxLatency = gp.Epsilon * (1 + 1e-12)
+			coldStart := time.Now()
+			cres, cerr := repro.SynthesizeContext(ctx, sc.acg, cold)
+			coldMS := time.Since(coldStart).Seconds() * 1e3
+			coldNodes := "-"
+			if cerr == nil {
+				coldNodes = fmt.Sprintf("%d", cres.Stats.NodesExplored)
+			} else if ctx.Err() != nil {
+				check(ctx.Err())
+			}
+
+			costStr, hopsStr := "-", "-"
+			if gp.Feasible {
+				costStr = fmt.Sprintf("%g", gp.Cost)
+				hopsStr = fmt.Sprintf("%.4f", gp.AvgHops)
+			}
+			row := fmt.Sprintf("%-8.4f %8s %9s %8v %9v %11d %11s %9.1f %9.1f",
+				gp.Epsilon, costStr, hopsStr, gp.Emitted, gp.Warm,
+				gp.NodesExplored, coldNodes,
+				gp.Elapsed.Seconds()*1e3, coldMS)
+			if sc.validate && gp.Emitted {
+				row += fmt.Sprintf(" %10.2f", measured[emittedIdx])
+			}
+			if gp.Emitted {
+				emittedIdx++
+			}
+			fmt.Println(row)
+		}
+		fmt.Println()
+	}
 }
 
 func check(err error) {

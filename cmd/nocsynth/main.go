@@ -24,6 +24,14 @@
 // The search runs on -parallel branch-and-bound workers (0 = all CPUs) and
 // can be interrupted with Ctrl-C, which prints the best decomposition
 // found so far.
+//
+// With -frontier the single solve is replaced by an ε-constraint sweep
+// that enumerates the cost-vs-latency Pareto frontier (-points grid
+// values): each non-dominated point streams to stdout as one NDJSON line
+// as soon as it is proven, followed by a summary record — the same
+// canonical document nocserve's POST /v1/frontier serves.
+//
+//	nocsynth -acg app.json -mode links -frontier -points 8
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 
 	"repro/internal/energy"
 	"repro/internal/floorplan"
+	"repro/internal/frontier"
 	"repro/internal/graph"
 	"repro/internal/routing"
 
@@ -56,6 +65,8 @@ func main() {
 	dot := flag.Bool("dot", false, "print the architecture in Graphviz DOT")
 	routes := flag.Bool("routes", false, "print the full routing table")
 	verilog := flag.Bool("verilog", false, "print a structural Verilog netlist of the architecture")
+	frontierSweep := flag.Bool("frontier", false, "enumerate the cost-vs-latency Pareto frontier as NDJSON instead of a single solve")
+	points := flag.Int("points", frontier.DefaultPoints, "ε-grid size for -frontier, unconstrained anchor included")
 	flag.Parse()
 
 	if *acgPath == "" {
@@ -93,8 +104,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
 
-	start := time.Now()
-	res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{
+	opts := repro.Options{
 		Mode:        costMode,
 		Placement:   placement,
 		Energy:      em,
@@ -104,7 +114,38 @@ func main() {
 			LinkBandwidthMbps: *linkBW,
 			MaxBisectionMbps:  *bisection,
 		},
-	})
+	}
+
+	if *frontierSweep {
+		// The sweep owns per-point deadlines through its context; the
+		// -timeout budget bounds the whole enumeration instead.
+		opts.Timeout = 0
+		fctx := ctx
+		if *timeout > 0 {
+			var tcancel context.CancelFunc
+			fctx, tcancel = context.WithTimeout(ctx, *timeout)
+			defer tcancel()
+		}
+		res, err := frontier.Enumerate(fctx, &acg, frontier.Options{
+			Points: *points,
+			Synth:  opts,
+			Emit:   func(p frontier.Point) { os.Stdout.Write(frontier.MarshalPointLine(p)) },
+		})
+		if err != nil && res == nil {
+			check(err)
+		}
+		os.Stdout.Write(frontier.MarshalSummaryLine(res.Summary()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nocsynth: frontier sweep truncated: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nocsynth: %d frontier points over a %d-value ε grid in %.3f s\n",
+			len(res.Points), len(res.Grid), res.Elapsed.Seconds())
+		return
+	}
+
+	start := time.Now()
+	res, err := repro.SynthesizeContext(ctx, &acg, opts)
 	check(err)
 
 	fmt.Printf("synthesized %q in %.3f s (%d workers, %d tree nodes, %d pruned, iso cache %d/%d hits, timed out: %v, interrupted: %v)\n\n",

@@ -104,6 +104,14 @@ type Decomposition struct {
 	Remainder     *graph.Graph
 	RemainderCost float64
 	Cost          float64
+	// AvgHops is the volume-weighted average hop count of the
+	// implementation graph: sum of v(e)·hops(e) over all ACG edges divided
+	// by the total volume, where a match-covered edge traverses its
+	// primitive's mapped route and a remainder edge its dedicated
+	// single-hop link. When the ACG carries no volume at all, every edge
+	// weighs 1. This is the second objective of the Pareto frontier sweep
+	// (internal/frontier); Options.MaxLatency constrains it.
+	AvgHops float64
 }
 
 // PaperListing renders the decomposition in the indented format of the
@@ -232,6 +240,38 @@ type Options struct {
 	// work than the hits save. Zero means the measured default
 	// (DefaultIsoCacheMinCost); negative retains everything.
 	IsoCacheMinCost time.Duration
+	// MaxLatency constrains the decomposition's volume-weighted average
+	// hop latency (Decomposition.AvgHops): subtrees that cannot finish at
+	// or below the ceiling are pruned exactly like the cost bound — every
+	// still-live edge contributes at least one hop at its weight, an
+	// admissible latency lower bound — and leaves above it are rejected
+	// as infeasible. This is the ε of the frontier sweep's ε-constraint
+	// scheme. Zero disables the constraint. Unlike DisableBound, the
+	// latency prune is a feasibility condition and always applies.
+	MaxLatency float64
+	// InitialBound warm-starts the incumbent with an EXCLUSIVE cost
+	// ceiling — a cost the caller already knows to be achievable (in the
+	// frontier sweep, the previous ε-point's solution, which stays
+	// feasible at every looser ε). The search then hunts only strict
+	// improvements: subtrees that can at best tie the seed are pruned,
+	// including the equal-cost sig variants a cold solve enumerates to
+	// canonicalize ties, so a seeded solve explores strictly fewer nodes
+	// whenever ties exist. If a strictly cheaper decomposition exists
+	// the solve returns the byte-identical (cost, sig)-minimal result a
+	// cold solve would find; if none does, it returns no decomposition,
+	// which sweep callers read as "dominated by the seed's point" (the
+	// seed itself remains the answer at this constraint). Zero disables
+	// seeding.
+	InitialBound float64
+	// MatchCache, when non-nil, replaces the per-solve memoized candidate
+	// cache with a shared one, so consecutive solves over the same ACG,
+	// library, placement, energy model and match limits — the frontier
+	// sweep's adjacent ε-points — reuse each other's enumerations.
+	// Candidate lists are independent of MaxLatency and InitialBound, so
+	// sharing across points is sound; sharing across solves that differ
+	// in any answer-shaping coordinate is not. Ignored when
+	// DisableIsoCache is set.
+	MatchCache *MatchCache
 }
 
 // DefaultIsoCacheMinCost is the default match-cache retention threshold.

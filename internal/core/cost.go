@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/bits"
 
 	"repro/internal/graph"
@@ -28,6 +29,16 @@ type coster struct {
 	minEdge     []float64
 	remEdge     []float64
 	nodeScratch []uint64
+
+	// Latency-aware link-mode bound constants (see lowerBoundMask). latR0
+	// is the best edges-per-link ratio achievable without spending any
+	// latency slack (hop-free primitives and the 1:1 remainder); latRmax
+	// is the best ratio overall (== maxCoverPerLink); latXmin is the
+	// cheapest extra-hops-per-covered-edge any primitive beating latR0
+	// pays; latWmin is the smallest per-edge latency weight in the ACG.
+	// latXmin == 0 marks the term inactive (no primitive beats latR0, or
+	// no library).
+	latR0, latRmax, latXmin, latWmin float64
 }
 
 // newCoster builds a coster with the library's cover-per-link ratio
@@ -40,11 +51,64 @@ func newCoster(p *Problem, facg *graph.Frozen, minEdge, remEdge []float64) coste
 	c := coster{p: p, facg: facg, minEdge: minEdge, remEdge: remEdge}
 	if p.Library != nil && p.Library.Len() > 0 {
 		c.maxCoverPerLink()
+		c.initLatencyBound()
 	}
 	if facg != nil {
 		c.nodeScratch = make([]uint64, (facg.NodeCount()+63)/64)
 	}
 	return c
+}
+
+// initLatencyBound precomputes the constants of the latency-aware link
+// bound from the library's routing tables. For each primitive it derives
+// the cover ratio (representation edges per implementation link) and the
+// total extra route hops (hops beyond one per representation edge). The
+// remainder contributes the baseline hop-free ratio 1. latWmin comes from
+// the same per-edge weights the AvgHops objective uses, so the slack
+// arithmetic in lowerBoundMask is expressed in identical units.
+func (c *coster) initLatencyBound() {
+	c.latR0, c.latRmax = 1, c.maxCoverPerLink()
+	c.latXmin = 0
+	type hungry struct{ ratio, perEdge float64 }
+	var above []hungry
+	for _, p := range c.p.Library.Primitives() {
+		links := p.ImplLinkCount()
+		n := p.Rep.EdgeCount()
+		if links <= 0 || n <= 0 {
+			continue
+		}
+		ratio := float64(n) / float64(links)
+		extra := 0
+		for _, e := range p.Rep.Edges() {
+			if route, ok := p.Routes[[2]graph.NodeID{e.From, e.To}]; ok {
+				extra += len(route) - 2
+			}
+		}
+		if extra == 0 {
+			if ratio > c.latR0 {
+				c.latR0 = ratio
+			}
+			continue
+		}
+		above = append(above, hungry{ratio, float64(extra) / float64(n)})
+	}
+	for _, h := range above {
+		if h.ratio > c.latR0 && (c.latXmin == 0 || h.perEdge < c.latXmin) {
+			c.latXmin = h.perEdge
+		}
+	}
+	if c.facg != nil {
+		lw, _ := latencyWeights(c.facg)
+		wmin := math.Inf(1)
+		for _, w := range lw {
+			if w < wmin {
+				wmin = w
+			}
+		}
+		if !math.IsInf(wmin, 1) {
+			c.latWmin = wmin
+		}
+	}
 }
 
 // edgeCostConstants precomputes, per frozen edge id, the energy-mode
@@ -155,7 +219,24 @@ func (c *coster) remainderCost(r *graph.Graph) float64 {
 // the search) — the form the hot pruning path uses. Link mode walks the
 // live edges once, marking active endpoints in the worker-local scratch
 // bitset; energy mode sums the precomputed per-edge admissible minima.
-func (c *coster) lowerBoundMask(mask graph.EdgeMask, live int) float64 {
+//
+// slack is the remaining weighted extra-hop budget an active MaxLatency
+// ceiling leaves the subtree: MaxLatency·totalWeight − wHops − liveWeight
+// (+Inf when no ceiling is active). In link mode a third admissible bound
+// uses it: covering an edge at better than the hop-free ratio latR0
+// requires a primitive whose routes spend at least latXmin extra hops per
+// covered edge, each weighted at least latWmin — so at most
+// slack/(latXmin·latWmin) edges can be covered at the high ratio latRmax
+// and the rest cost at least 1/latR0 links each. With tight ceilings this
+// term approaches one link per remaining edge, far above the latency-blind
+// ratio bound, which is what lets a warm-started (ε-constraint) solve
+// prune dominated subtrees near the root. Admissibility: any completion
+// partitions live edges into those covered by primitives with ratio ≤
+// latR0 or the remainder (≥ 1/latR0 links each, no slack claimed) and
+// those covered by higher-ratio primitives (≥ 1/latRmax links each, ≥
+// latXmin·latWmin weighted extra hops each, and the total weighted extra
+// hops of a feasible completion cannot exceed slack).
+func (c *coster) lowerBoundMask(mask graph.EdgeMask, live int, slack float64) float64 {
 	if c.p.Options.Mode == CostLinks {
 		for i := range c.nodeScratch {
 			c.nodeScratch[i] = 0
@@ -176,12 +257,14 @@ func (c *coster) lowerBoundMask(mask graph.EdgeMask, live int) float64 {
 				}
 			}
 		}
-		byDegree := float64((active + 1) / 2)
-		byRatio := float64(live) / c.maxCoverPerLink()
-		if byRatio > byDegree {
-			return byRatio
+		bound := float64((active + 1) / 2)
+		if byRatio := float64(live) / c.maxCoverPerLink(); byRatio > bound {
+			bound = byRatio
 		}
-		return byDegree
+		if bySlack := c.slackBound(live, slack); bySlack > bound {
+			bound = bySlack
+		}
+		return bound
 	}
 	var total float64
 	for wi, w := range mask {
@@ -193,33 +276,56 @@ func (c *coster) lowerBoundMask(mask graph.EdgeMask, live int) float64 {
 	return total
 }
 
+// slackBound is the latency-aware piece of the link-mode lower bound (see
+// lowerBoundMask): the minimum links needed to cover live edges when only
+// slack weighted extra hops remain. Returns 0 (never binding) when no
+// ceiling is active, the constants are degenerate, or the budget admits
+// high-ratio coverage of everything.
+func (c *coster) slackBound(live int, slack float64) float64 {
+	if math.IsInf(slack, 1) || c.latXmin <= 0 || c.latWmin <= 0 || c.latR0 <= 0 {
+		return 0
+	}
+	if slack < 0 {
+		slack = 0
+	}
+	m := slack / (c.latXmin * c.latWmin)
+	if m >= float64(live) {
+		return 0
+	}
+	return (float64(live)-m)/c.latR0 + m/c.latRmax
+}
+
 // lowerBound is the "minimum remaining cost" of Figure 3: an admissible
 // estimate of the cheapest possible implementation of the remaining graph.
 // Every remaining edge must move v(e) bits between its endpoint cores
 // through at least two switches and wire no shorter than their straight-
 // line separation, regardless of which primitive (or the remainder) ends
 // up carrying it. It is the map-graph reference implementation of
-// lowerBoundMask, kept for the representation-equivalence tests.
-func (c *coster) lowerBound(r *graph.Graph) float64 {
+// lowerBoundMask, kept for the representation-equivalence tests; slack has
+// the same meaning as there.
+func (c *coster) lowerBound(r *graph.Graph, slack float64) float64 {
 	if c.p.Options.Mode == CostLinks {
-		// Two admissible bounds, combined by max. (1) Every vertex that
+		// Three admissible bounds, combined by max. (1) Every vertex that
 		// still sends or receives needs at least one incident physical
 		// link, and one link serves two vertices. (2) No library primitive
 		// covers more than maxCoverPerLink representation edges per
 		// implementation link, and a remainder edge is 1:1, so covering E
-		// edges needs at least E/maxCoverPerLink links.
+		// edges needs at least E/maxCoverPerLink links. (3) The latency
+		// slack bound of lowerBoundMask.
 		active := 0
 		for _, n := range r.Nodes() {
 			if r.Degree(n) > 0 {
 				active++
 			}
 		}
-		byDegree := float64((active + 1) / 2)
-		byRatio := float64(r.EdgeCount()) / c.maxCoverPerLink()
-		if byRatio > byDegree {
-			return byRatio
+		bound := float64((active + 1) / 2)
+		if byRatio := float64(r.EdgeCount()) / c.maxCoverPerLink(); byRatio > bound {
+			bound = byRatio
 		}
-		return byDegree
+		if bySlack := c.slackBound(r.EdgeCount(), slack); bySlack > bound {
+			bound = bySlack
+		}
+		return bound
 	}
 	var total float64
 	for _, e := range r.Edges() {

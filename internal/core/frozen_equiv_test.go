@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -84,10 +85,12 @@ func TestMaskCosterMatchesGraphCoster(t *testing.T) {
 			sub := facg.Materialize(mask)
 			live := mask.Count()
 
-			wantLB := c.lowerBound(sub)
-			gotLB := c.lowerBoundMask(mask, live)
-			if d := wantLB - gotLB; d > 1e-9 || d < -1e-9 {
-				t.Fatalf("mode %v seed %d: lowerBound %g vs mask %g", mode, seed, wantLB, gotLB)
+			for _, slack := range []float64{math.Inf(1), 0, 12.5, 300} {
+				wantLB := c.lowerBound(sub, slack)
+				gotLB := c.lowerBoundMask(mask, live, slack)
+				if d := wantLB - gotLB; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("mode %v seed %d slack %g: lowerBound %g vs mask %g", mode, seed, slack, wantLB, gotLB)
+				}
 			}
 			wantRC := c.remainderCost(sub)
 			gotRC := c.remainderCostMask(mask)

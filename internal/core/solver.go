@@ -67,6 +67,7 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	sh.facg = p.ACG.Freeze()
 	sh.fullMask = graph.FullEdgeMask(sh.facg.EdgeCount())
 	sh.minEdge, sh.remEdge = edgeCostConstants(&p, sh.facg)
+	sh.latWeight, sh.totalWeight = latencyWeights(sh.facg)
 	sh.pats = make([]*graph.Frozen, len(p.Library.Primitives()))
 	for i, prim := range p.Library.Primitives() {
 		sh.pats[i] = prim.Rep.Freeze()
@@ -86,7 +87,11 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 		sh.isoLimit = DefaultIsoLimit
 	}
 	if !p.Options.DisableIsoCache {
-		sh.cache = newMatchCache(p.Options.IsoCacheEntries)
+		if p.Options.MatchCache != nil {
+			sh.cache = p.Options.MatchCache.inner
+		} else {
+			sh.cache = newMatchCache(p.Options.IsoCacheEntries)
+		}
 		sh.cacheMinCost = p.Options.IsoCacheMinCost
 		if sh.cacheMinCost == 0 {
 			sh.cacheMinCost = DefaultIsoCacheMinCost
@@ -94,8 +99,14 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 			sh.cacheMinCost = 0
 		}
 	}
-	// Figure 3: currentCost = 0; minCost = inf.
-	sh.inc.init()
+	// A shared cache carries counters from earlier solves; snapshot them
+	// so Stats reports this solve's hits and misses, not the sweep's.
+	var hits0, misses0 uint64
+	if sh.cache != nil {
+		hits0, misses0 = sh.cache.hits.Load(), sh.cache.misses.Load()
+	}
+	// Figure 3: currentCost = 0; minCost = inf (or the warm-start seed).
+	sh.inc.init(p.Options.InitialBound)
 
 	// The root node is explored once, here; its candidate expansions become
 	// the work units the workers partition among themselves.
@@ -111,7 +122,7 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	} else if len(branches) == 0 {
 		// No library graph matches the input at all: the root is a leaf and
 		// the whole ACG is the remainder.
-		root.leaf(sh.fullMask, nil, nil, 0)
+		root.leaf(sh.fullMask, nil, nil, 0, 0, sh.totalWeight)
 	} else {
 		par := p.Options.Parallelism
 		if par <= 0 {
@@ -142,8 +153,8 @@ func SolveContext(ctx context.Context, p Problem) (Result, error) {
 	stats.TimedOut = sh.timedOut.Load()
 	stats.Canceled = sh.canceled.Load()
 	if sh.cache != nil {
-		stats.IsoCacheHits = int(sh.cache.hits.Load())
-		stats.IsoCacheMisses = int(sh.cache.misses.Load())
+		stats.IsoCacheHits = int(sh.cache.hits.Load() - hits0)
+		stats.IsoCacheMisses = int(sh.cache.misses.Load() - misses0)
 	}
 	stats.Elapsed = time.Since(sh.start)
 	return Result{Best: sh.inc.take(), Stats: stats}, nil
@@ -167,6 +178,12 @@ type shared struct {
 	// minEdge/remEdge are the energy-mode per-edge cost constants, shared
 	// read-only by every worker's coster (nil in link mode).
 	minEdge, remEdge []float64
+
+	// latWeight[e] is edge e's weight in the latency objective (its
+	// volume, or 1 for every edge when the ACG carries no volume at all);
+	// totalWeight is their sum, the AvgHops denominator.
+	latWeight   []float64
+	totalWeight float64
 
 	matchLimit int
 	isoLimit   int
@@ -261,13 +278,16 @@ func (w *worker) run(branches []branch) {
 		m := b.cand.match
 		m.Depth = 0
 		mask := w.sh.fullMask.Without(b.cand.coveredIDs)
-		w.dfs(mask, w.sh.facg.EdgeCount()-len(b.cand.coveredIDs), b.sig, []Match{m}, []string{b.rank}, m.Cost)
+		w.dfs(mask, w.sh.facg.EdgeCount()-len(b.cand.coveredIDs), b.sig, []Match{m}, []string{b.rank}, m.Cost, b.cand.wHops, w.sh.totalWeight-b.cand.weight)
 	}
 }
 
 // dfs explores one decomposition-tree node: mask selects the live edges of
 // the graph still to cover (live is their count), matches the path from the
 // root, ranks the candRank of each match, cost the accumulated match cost.
+// wHops carries the weighted hop count of the matches taken so far and
+// liveWeight the latency weight still live in mask; together they give the
+// admissible latency lower bound of every leaf below this node.
 //
 // Because matches in one decomposition are pairwise edge-disjoint, a
 // decomposition is a *set* of matches: every permutation of the same set
@@ -275,11 +295,29 @@ func (w *worker) run(branches []branch) {
 // rank order (library index, then covered-edge key) — only candidates
 // ranking above the last expanded match branch, which eliminates the
 // factorial permutation blow-up without excluding any decomposition.
-func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Match, ranks []string, cost float64) {
+func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Match, ranks []string, cost float64, wHops, liveWeight float64) {
 	if w.stopped() {
 		return
 	}
 	w.stats.NodesExplored++
+
+	// Latency ceiling (the frontier sweep's ε-constraint): every leaf
+	// below this node covers each live edge with at least one hop at its
+	// weight, so (wHops+liveWeight)/totalWeight lower-bounds its AvgHops —
+	// computed with the same operations as the leaf's AvgHops, so a
+	// decomposition sitting exactly on the ceiling is never pruned by a
+	// rounding mismatch. This is a feasibility condition, not the
+	// optimality bound, so it applies under DisableBound too.
+	slack := math.Inf(1)
+	if max := w.sh.p.Options.MaxLatency; max > 0 && w.sh.totalWeight > 0 {
+		if (wHops+liveWeight)/w.sh.totalWeight > max {
+			w.stats.BranchesPruned++
+			return
+		}
+		// Weighted extra-hop budget the subtree has left before it would
+		// cross the ceiling; feeds the latency-aware piece of the bound.
+		slack = max*w.sh.totalWeight - wHops - liveWeight
+	}
 
 	// Figure 3 bound: currentCost + minimum remaining cost vs minCost.
 	// canBeat also resolves the equal-cost case canonically — the subtree
@@ -287,7 +325,7 @@ func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Matc
 	// still order before the incumbent — so pruning never depends on which
 	// worker found the incumbent first.
 	if !w.sh.p.Options.DisableBound {
-		if !w.sh.inc.canBeat(cost+w.coster.lowerBoundMask(mask, live), ranks) {
+		if !w.sh.inc.canBeat(cost+w.coster.lowerBoundMask(mask, live, slack), ranks) {
 			w.stats.BranchesPruned++
 			return
 		}
@@ -320,14 +358,14 @@ func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Matc
 			w.stats.MatchingsTried++
 			cand.match.Depth = len(matches)
 			next := mask.Without(cand.coveredIDs)
-			w.dfs(next, live-len(cand.coveredIDs), sig.without(cand.covered), append(matches, cand.match), append(ranks, rank), cost+cand.match.Cost)
+			w.dfs(next, live-len(cand.coveredIDs), sig.without(cand.covered), append(matches, cand.match), append(ranks, rank), cost+cand.match.Cost, wHops+cand.wHops, liveWeight-cand.weight)
 		}
 	}
 
 	if expanded {
 		return
 	}
-	w.leaf(mask, matches, ranks, cost)
+	w.leaf(mask, matches, ranks, cost, wHops, liveWeight)
 }
 
 // leaf handles a node with no expandable matching. In the exhaustive
@@ -340,8 +378,18 @@ func (w *worker) dfs(mask graph.EdgeMask, live int, sig graphSig, matches []Matc
 //
 // The remaining graph is materialized from the bitmask only here, and only
 // after the incumbent check: interior tree nodes never rebuild map graphs.
-func (w *worker) leaf(mask graph.EdgeMask, matches []Match, ranks []string, cost float64) {
+func (w *worker) leaf(mask graph.EdgeMask, matches []Match, ranks []string, cost float64, wHops, liveWeight float64) {
 	w.stats.LeavesReached++
+	// Every remainder edge is a dedicated single-hop link, so the live
+	// weight is exactly its weighted hop contribution.
+	var avgHops float64
+	if w.sh.totalWeight > 0 {
+		avgHops = (wHops + liveWeight) / w.sh.totalWeight
+	}
+	if max := w.sh.p.Options.MaxLatency; max > 0 && avgHops > max {
+		w.stats.ConstraintFails++
+		return
+	}
 	rc := w.coster.remainderCostMask(mask)
 	total := cost + rc
 	if !w.sh.inc.canBeat(total, ranks) {
@@ -352,6 +400,7 @@ func (w *worker) leaf(mask graph.EdgeMask, matches []Match, ranks []string, cost
 		Remainder:     w.sh.facg.Materialize(mask),
 		RemainderCost: rc,
 		Cost:          total,
+		AvgHops:       avgHops,
 	}
 	d.Remainder.SetName("remainder")
 	if !w.coster.checkConstraints(d) {
@@ -381,8 +430,28 @@ type incumbent struct {
 	best *Decomposition
 }
 
-func (in *incumbent) init() {
+// init resets the incumbent. A positive seed warm-starts it as an
+// EXCLUSIVE ceiling: pruning behaves as if a decomposition fractionally
+// cheaper than the seed were already known, so the search hunts only
+// strict improvements and prunes every subtree that can at best tie the
+// seed — including the (often vast) set of equal-cost sig variants a
+// cold solve must enumerate to canonicalize ties. When no strict
+// improvement exists the solve ends with best == nil, which the frontier
+// sweep reads as "this ε-point is dominated by its predecessor".
+//
+// The margin below the seed absorbs accumulation-order float noise: the
+// admissible lower bound sums per-edge minima in mask order while a
+// leaf's total accumulates match costs in path order, so an exact tie of
+// the seed can land a few ulps on either side of it. The relative margin
+// (~1e7 times the accumulated rounding noise, far below any real cost
+// gap) keeps such ties out while provably admitting every genuine
+// improvement, so a warm solve that does improve returns the
+// byte-identical result of a cold solve.
+func (in *incumbent) init(seed float64) {
 	in.cost = math.Inf(1)
+	if seed > 0 {
+		in.cost = seed * (1 - 1e-9)
+	}
 	in.bits.Store(math.Float64bits(in.cost))
 }
 
@@ -404,14 +473,23 @@ func (in *incumbent) canBeat(cost float64, seq []string) bool {
 	if cost != in.cost {
 		return cost < in.cost
 	}
+	if in.best == nil {
+		// The incumbent is a warm-start threshold, not a real
+		// decomposition: anything at exactly the threshold can still
+		// beat it. (Unreachable in practice — the threshold sits a
+		// relative margin below any achievable cost — but kept so the
+		// tie rules never depend on that.)
+		return true
+	}
 	return seqLess(seq, in.sig)
 }
 
 // offer installs d as the incumbent if it orders before the current one.
+// A warm-start threshold (best == nil) loses every equal-cost tie.
 func (in *incumbent) offer(d *Decomposition, sig []string) bool {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if d.Cost > in.cost || (d.Cost == in.cost && !seqLess(sig, in.sig)) {
+	if d.Cost > in.cost || (d.Cost == in.cost && in.best != nil && !seqLess(sig, in.sig)) {
 		return false
 	}
 	in.cost, in.sig, in.best = d.Cost, sig, d
@@ -442,11 +520,39 @@ func seqLess(a, b []string) bool {
 
 // candidate pairs a costed match with the ACG edges it covers, both as
 // (From, To) NodeID pairs (for the canonical rank key) and as frozen edge
-// ids (for the bitmask update).
+// ids (for the bitmask update). wHops/weight are its latency-objective
+// contributions — the weighted hop count of its mapped routes and the
+// latency weight of its covered edges — precomputed here because they
+// depend only on the match, never on the live mask, so cached candidate
+// lists stay valid across tree nodes and across sweep solves.
 type candidate struct {
 	match      Match
 	covered    [][2]graph.NodeID
 	coveredIDs []int32
+	wHops      float64
+	weight     float64
+}
+
+// latencyWeights computes the per-edge latency weights and their total:
+// edge volumes, or 1 per edge when the whole ACG carries no volume (a
+// pure-connectivity graph still has a meaningful average hop count).
+func latencyWeights(facg *graph.Frozen) ([]float64, float64) {
+	n := facg.EdgeCount()
+	w := make([]float64, n)
+	var totalVol float64
+	for i := 0; i < n; i++ {
+		totalVol += facg.Volume(i)
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		if totalVol > 0 {
+			w[i] = facg.Volume(i)
+		} else {
+			w[i] = 1
+		}
+		total += w[i]
+	}
+	return w, total
 }
 
 // enumerate lists the matchings of one primitive in the remaining graph
@@ -511,10 +617,22 @@ func (w *worker) enumerate(primIdx int, prim *primitives.Primitive, mask graph.E
 	if w.sh.matchLimit > 0 && len(cands) > w.sh.matchLimit {
 		cands = cands[:w.sh.matchLimit]
 	}
-	// Translate cover keys to frozen edge ids only for the candidates
-	// that survived the cap.
+	// Translate cover keys to frozen edge ids and price the latency
+	// contributions only for the candidates that survived the cap.
 	for i := range cands {
-		cands[i].coveredIDs = w.coveredEdgeIDs(cands[i].covered)
+		ids := w.coveredEdgeIDs(cands[i].covered)
+		cands[i].coveredIDs = ids
+		var wh, wt float64
+		for j, k := range cands[i].covered {
+			hops := 1.0
+			if route, ok := cands[i].match.MappedRoute(k[0], k[1]); ok && len(route) > 1 {
+				hops = float64(len(route) - 1)
+			}
+			lw := w.sh.latWeight[ids[j]]
+			wt += lw
+			wh += lw * hops
+		}
+		cands[i].wHops, cands[i].weight = wh, wt
 	}
 	if w.sh.cache != nil && err == nil && time.Since(missStart) >= w.sh.cacheMinCost {
 		// Retain only results that were genuinely expensive to compute:
@@ -605,6 +723,29 @@ func splitmix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// MatchCache is a shareable handle on the solver's memoized candidate
+// cache. Options.MatchCache points consecutive solves at one instance so
+// a frontier sweep's adjacent ε-points reuse each other's enumerations —
+// the cache key (primitive, remaining-graph signature) and the cached
+// candidate lists are independent of MaxLatency and InitialBound, the
+// only coordinates the sweep varies. Sharing solves must run
+// sequentially when they differ in any other answer-shaping option.
+type MatchCache struct {
+	inner *matchCache
+}
+
+// NewMatchCache returns an empty shareable candidate cache; maxEntries
+// <= 0 applies the default cap.
+func NewMatchCache(maxEntries int) *MatchCache {
+	return &MatchCache{inner: newMatchCache(maxEntries)}
+}
+
+// Counters reports the cumulative hit/miss counts across every solve
+// that shared this cache.
+func (c *MatchCache) Counters() (hits, misses uint64) {
+	return c.inner.hits.Load(), c.inner.misses.Load()
 }
 
 // matchKey identifies one enumerate query: which primitive against which

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/randgraph"
+)
+
+// frontierBody builds a /v1/frontier request body around the paper's
+// Figure 5 random graph — the smallest graph in the repo with a
+// non-degenerate links-mode frontier.
+func frontierBody(t *testing.T, points int) []byte {
+	t.Helper()
+	g := randgraph.PaperFig5(16)
+	body, err := json.Marshal(map[string]any{
+		"graph":   g,
+		"options": map[string]any{"mode": "links", "matchLimit": 1},
+		"points":  points,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestFrontierHTTPStreamAndCache drives the full service path: a waited
+// POST /v1/frontier streams NDJSON points ending in a summary record, a
+// repeated request is served from the content-addressed cache with the
+// byte-identical document, and GET /v1/results/{key} replays it again.
+func TestFrontierHTTPStreamAndCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close(5 * time.Second)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	post := func() (string, []byte, []byte) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/frontier?wait=1", "application/json", bytes.NewReader(frontierBody(t, 6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q, want application/x-ndjson", ct)
+		}
+		return resp.Header.Get("X-Nocserve-Path"), []byte(resp.Header.Get("X-Nocserve-Key")), body
+	}
+
+	path1, key1, body1 := post()
+	if path1 != "queued" {
+		t.Fatalf("first submission path %q, want queued", path1)
+	}
+	lines := strings.Split(strings.TrimRight(string(body1), "\n"), "\n")
+	if len(lines) < 3 { // >= 2 points + summary
+		t.Fatalf("stream has %d lines, want at least 3:\n%s", len(lines), body1)
+	}
+	var prevCost float64
+	for i, ln := range lines[:len(lines)-1] {
+		var p struct {
+			Index   int     `json:"index"`
+			Epsilon float64 `json:"epsilon"`
+			Cost    float64 `json:"cost"`
+			AvgHops float64 `json:"avgHops"`
+		}
+		if err := json.Unmarshal([]byte(ln), &p); err != nil {
+			t.Fatalf("point line %d does not parse: %v\n%s", i, err, ln)
+		}
+		if p.Index != i {
+			t.Errorf("line %d has index %d", i, p.Index)
+		}
+		if i > 0 && p.Cost >= prevCost {
+			t.Errorf("line %d: cost %v not strictly below predecessor %v (dominated point leaked)", i, p.Cost, prevCost)
+		}
+		prevCost = p.Cost
+	}
+	var trailer struct {
+		Summary *struct {
+			Points int `json:"points"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || trailer.Summary == nil {
+		t.Fatalf("last line is not a summary record: %v\n%s", err, lines[len(lines)-1])
+	}
+	if trailer.Summary.Points != len(lines)-1 {
+		t.Errorf("summary counts %d points, stream carried %d", trailer.Summary.Points, len(lines)-1)
+	}
+
+	path2, key2, body2 := post()
+	if path2 != "cache" {
+		t.Fatalf("second submission path %q, want cache", path2)
+	}
+	if !bytes.Equal(key1, key2) {
+		t.Fatalf("cache keys differ: %s vs %s", key1, key2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached frontier differs from streamed one:\n%s\nvs\n%s", body1, body2)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/results/" + string(key1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(stored, body1) {
+		t.Fatalf("stored document differs from streamed one")
+	}
+}
+
+// TestFrontierHTTPAsync submits without wait and polls the job to Done;
+// the job must be labeled with the frontier kind.
+func TestFrontierHTTPAsync(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(5 * time.Second)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/frontier", "application/json", bytes.NewReader(frontierBody(t, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/v1/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Kind != JobKindFrontier {
+			t.Fatalf("job kind %q, want %q", st.Kind, JobKindFrontier)
+		}
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed || st.State == StateCanceled {
+			t.Fatalf("job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %s after 30s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFrontierHTTPRejects covers the parse-level rejections.
+func TestFrontierHTTPRejects(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close(time.Second)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	g := randgraph.PaperFig5(8)
+	mk := func(v map[string]any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty graph", mk(map[string]any{"options": map[string]any{"mode": "links"}})},
+		{"unknown field", mk(map[string]any{"graph": g, "bogus": 1})},
+		{"points out of range", mk(map[string]any{"graph": g, "points": MaxFrontierPoints + 1})},
+		{"maxLatency set", mk(map[string]any{"graph": g, "options": map[string]any{"maxLatency": 1.5}})},
+		{"bad mode", mk(map[string]any{"graph": g, "options": map[string]any{"mode": "nope"}})},
+		{"not json", []byte("points: 4")},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/v1/frontier", "application/json", bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFrontierRequest throws arbitrary bytes at the /v1/frontier request
+// parser. Properties: the parser never panics, and any body it accepts
+// round-trips — re-marshaling the parsed request and parsing again must
+// succeed and produce an identical request (so the content address, which
+// hashes the parsed form, is stable under re-encoding).
+func FuzzFrontierRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"graph":null}`))
+	f.Add([]byte(`{"graph":{"nodes":["a","b"],"edges":[{"from":"a","to":"b","volume":10}]}}`))
+	f.Add([]byte(`{"graph":{"nodes":["a","b"],"edges":[{"from":"a","to":"b"}]},"options":{"mode":"links","matchLimit":1},"points":6,"validate":true}`))
+	f.Add([]byte(`{"graph":{"nodes":["a"],"edges":[]},"options":{"maxLatency":1.5}}`))
+	f.Add([]byte(`{"graph":{"nodes":["a"],"edges":[]},"points":65}`))
+	f.Add([]byte(`{"graph":{"nodes":["a"],"edges":[]},"bogus":1}`))
+	f.Add([]byte(`{"graph":{"nodes":["a"],"edges":[]}}{"trailing":true}`))
+	f.Add([]byte(`points: 4`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := ParseFrontierRequest(body)
+		if err != nil {
+			return
+		}
+		if req.Graph == nil || req.Graph.NodeCount() == 0 {
+			t.Fatalf("parser accepted a request with an empty graph: %q", body)
+		}
+		if req.Points < 0 || req.Points > MaxFrontierPoints {
+			t.Fatalf("parser accepted out-of-range points %d: %q", req.Points, body)
+		}
+		if req.Options.MaxLatency != 0 {
+			t.Fatalf("parser accepted maxLatency %v: %q", req.Options.MaxLatency, body)
+		}
+		remarshaled, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-marshal: %v", err)
+		}
+		again, err := ParseFrontierRequest(remarshaled)
+		if err != nil {
+			t.Fatalf("re-marshaled request rejected: %v\noriginal: %q\nre-marshaled: %q", err, body, remarshaled)
+		}
+		b1, err1 := json.Marshal(req)
+		b2, err2 := json.Marshal(again)
+		if err1 != nil || err2 != nil || string(b1) != string(b2) {
+			t.Fatalf("round trip not stable:\nfirst:  %s\nsecond: %s", b1, b2)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"strings"
 	"time"
@@ -48,6 +50,10 @@ type RequestOptions struct {
 	// feasibility constraints (0 = disabled).
 	LinkBandwidthMbps float64 `json:"linkBandwidthMbps,omitempty"`
 	MaxBisectionMbps  float64 `json:"maxBisectionMbps,omitempty"`
+	// MaxLatency caps the volume-weighted average hop count of the
+	// decomposition (0 = unconstrained). On /v1/frontier requests it must
+	// stay unset: the sweep assigns per-point ceilings.
+	MaxLatency float64 `json:"maxLatency,omitempty"`
 }
 
 // ToOptions resolves the wire options into solver options.
@@ -84,6 +90,10 @@ func (o RequestOptions) ToOptions() (repro.Options, error) {
 	if o.TimeoutMs < 0 || o.IsoTimeoutMs < 0 {
 		return opts, fmt.Errorf("negative timeout")
 	}
+	if o.MaxLatency < 0 || math.IsNaN(o.MaxLatency) || math.IsInf(o.MaxLatency, 0) {
+		return opts, fmt.Errorf("maxLatency %g not a finite non-negative number", o.MaxLatency)
+	}
+	opts.MaxLatency = o.MaxLatency
 	opts.Timeout = time.Duration(o.TimeoutMs) * time.Millisecond
 	opts.IsoTimeout = time.Duration(o.IsoTimeoutMs) * time.Millisecond
 	opts.MatchLimit = o.MatchLimit
@@ -112,6 +122,11 @@ type SubmitResponse struct {
 //	POST /v1/simulate[?wait=1]    submit a bulk simulation batch (body is
 //	                              a noc.SimRequest); with wait=1 the
 //	                              response is the canonical SimResponse
+//	POST /v1/frontier[?wait=1]    submit an ε-constraint Pareto frontier
+//	                              sweep; with wait=1 the response streams
+//	                              non-dominated points as NDJSON lines the
+//	                              moment each is proven, ending with a
+//	                              summary record
 //	GET  /v1/jobs/{id}            job status
 //	GET  /v1/results/{key}        canonical result bytes by content address
 //	GET  /healthz                 liveness + drain state
@@ -123,6 +138,9 @@ func Handler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
 		s.handleSimulate(w, r)
+	})
+	mux.HandleFunc("POST /v1/frontier", func(w http.ResponseWriter, r *http.Request) {
+		s.handleFrontier(w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := s.JobByID(r.PathValue("id"))
@@ -196,6 +214,94 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	job, path, err := s.SubmitSimulate(SimulateRequest{Sim: &req, Wait: wait})
 	s.respondSubmitted(w, r, job, path, wait, err)
+}
+
+func (s *Service) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	req, err := ParseFrontierRequest(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.Wait = r.URL.Query().Get("wait") != ""
+
+	job, path, err := s.SubmitFrontier(req)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case errors.Is(err, ErrStore):
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	case err != nil:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	w.Header().Set("X-Nocserve-Job", job.ID)
+	w.Header().Set("X-Nocserve-Key", job.Key)
+	w.Header().Set("X-Nocserve-Path", path)
+
+	if !req.Wait {
+		code := http.StatusAccepted
+		if job.State() == StateDone {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, SubmitResponse{JobID: job.ID, Key: job.Key, State: job.State(), Path: path})
+		return
+	}
+
+	// Attended frontier submission: stream the NDJSON document. Points
+	// appear on the job's stream buffer the moment the sweep proves them
+	// non-dominated; a cache hit (or a coalesced attachment to a job that
+	// finishes first) writes the byte-identical stored document instead.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if job.State() == StateDone {
+		w.Write(job.Encoded())
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, newOff, grown := job.StreamSince(off)
+		if len(chunk) > 0 {
+			if _, werr := w.Write(chunk); werr != nil {
+				job.Release()
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		off = newOff
+		select {
+		case <-grown:
+		case <-job.Done():
+			// Drain anything appended between the last read and
+			// completion (the summary line, at minimum).
+			chunk, _, _ := job.StreamSince(off)
+			if len(chunk) > 0 {
+				w.Write(chunk)
+			}
+			if st := job.Status(); st.State != StateDone {
+				// The stream is already half-written, so a status code is
+				// no longer available; emit a terminal NDJSON error record.
+				msg, _ := json.Marshal(st.Error)
+				fmt.Fprintf(w, "{\"error\":%s,\"state\":%q}\n", msg, st.State)
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		case <-r.Context().Done():
+			job.Release()
+			return
+		}
+	}
 }
 
 // respondSubmitted finishes a submission handler: map submission errors,

@@ -59,6 +59,14 @@ type Job struct {
 	waiters   int
 	detached  bool
 
+	// stream is the append-only incremental output of streaming job
+	// kinds (frontier points as they are proven non-dominated); streamCh
+	// is closed and replaced on every append so readers can block for
+	// growth. The buffer concatenates to the job's canonical encoding,
+	// letting late or coalesced readers replay from offset zero.
+	stream   []byte
+	streamCh chan struct{}
+
 	summaryOnce sync.Once
 	summary     *ResultSummary
 }
@@ -120,6 +128,38 @@ func (j *Job) Release() {
 	if abandon {
 		j.cancel()
 	}
+}
+
+// appendStream publishes one chunk of incremental output and wakes
+// blocked StreamSince readers.
+func (j *Job) appendStream(chunk []byte) {
+	j.mu.Lock()
+	j.stream = append(j.stream, chunk...)
+	if j.streamCh != nil {
+		close(j.streamCh)
+		j.streamCh = nil
+	}
+	j.mu.Unlock()
+}
+
+// StreamSince returns the incremental output beyond off, the new offset,
+// and a channel that is closed the next time the stream grows. The
+// returned slice is shared; treat it as read-only. Readers loop:
+// consume the chunk, then select on the channel and Done().
+func (j *Job) StreamSince(off int) (chunk []byte, newOff int, grown <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if off < 0 {
+		off = 0
+	}
+	if off > len(j.stream) {
+		off = len(j.stream)
+	}
+	chunk = j.stream[off:]
+	if j.streamCh == nil {
+		j.streamCh = make(chan struct{})
+	}
+	return chunk, len(j.stream), j.streamCh
 }
 
 // Done returns a channel closed when the job reaches a terminal state.

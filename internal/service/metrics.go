@@ -10,11 +10,40 @@ import (
 	"time"
 )
 
+// jobKinds enumerates the job families sharing the queue, in exposition
+// order. Index 0 is the synthesis kind a zero-valued Job.kind denotes.
+var jobKinds = [...]string{"synthesize", JobKindSimulate, JobKindFrontier}
+
+// kindIndex maps a Job.kind to its jobKinds slot ("" is synthesize).
+func kindIndex(kind string) int {
+	for i, k := range jobKinds {
+		if k == kind {
+			return i
+		}
+	}
+	return 0
+}
+
+// kindCounters is the per-kind slice of the job lifecycle metrics; every
+// series is additionally aggregated in the unlabeled Metrics fields.
+type kindCounters struct {
+	submitted, coalesced, rejected atomic.Uint64
+	done, failed, canceled         atomic.Uint64
+	cacheHits, cacheMisses         atomic.Uint64
+	queued, running                atomic.Int64
+}
+
 // Metrics is the service's instrumentation: atomic counters and gauges
 // plus a solve-latency histogram, exposed in Prometheus text format on
 // GET /metrics. Hand-rolled because the repo takes no dependencies; the
-// exposition subset used here (counter, gauge, histogram) is stable and
-// tiny.
+// exposition subset used here (counter, gauge, histogram, labels) is
+// stable and tiny.
+//
+// Job lifecycle metrics are kept twice: the exported unlabeled aggregates
+// (the stable programmatic API) and a per-kind breakdown rendered as
+// {kind="synthesize"|"simulate"|"frontier"} series on /metrics, so
+// dashboards can tell a queue full of frontier sweeps from one full of
+// single solves.
 type Metrics struct {
 	JobsSubmitted atomic.Uint64 // accepted submissions, including coalesced and cache hits
 	JobsCoalesced atomic.Uint64 // submissions attached to an in-flight identical job
@@ -31,7 +60,62 @@ type Metrics struct {
 
 	Solves atomic.Uint64 // actual solver invocations (cache and coalescing bypass these)
 
+	perKind [len(jobKinds)]kindCounters
+
 	solveLatency histogram
+}
+
+// The job* helpers bump the aggregate and the kind-labeled series
+// together so the two views can never drift.
+
+func (m *Metrics) jobSubmitted(kind string) {
+	m.JobsSubmitted.Add(1)
+	m.perKind[kindIndex(kind)].submitted.Add(1)
+}
+
+func (m *Metrics) jobCoalesced(kind string) {
+	m.JobsCoalesced.Add(1)
+	m.perKind[kindIndex(kind)].coalesced.Add(1)
+}
+
+func (m *Metrics) jobRejected(kind string) {
+	m.JobsRejected.Add(1)
+	m.perKind[kindIndex(kind)].rejected.Add(1)
+}
+
+func (m *Metrics) jobDone(kind string) {
+	m.JobsDone.Add(1)
+	m.perKind[kindIndex(kind)].done.Add(1)
+}
+
+func (m *Metrics) jobFailed(kind string) {
+	m.JobsFailed.Add(1)
+	m.perKind[kindIndex(kind)].failed.Add(1)
+}
+
+func (m *Metrics) jobCanceled(kind string) {
+	m.JobsCanceled.Add(1)
+	m.perKind[kindIndex(kind)].canceled.Add(1)
+}
+
+func (m *Metrics) cacheHit(kind string) {
+	m.CacheHits.Add(1)
+	m.perKind[kindIndex(kind)].cacheHits.Add(1)
+}
+
+func (m *Metrics) cacheMiss(kind string) {
+	m.CacheMisses.Add(1)
+	m.perKind[kindIndex(kind)].cacheMisses.Add(1)
+}
+
+func (m *Metrics) jobQueuedDelta(kind string, d int64) {
+	m.JobsQueued.Add(d)
+	m.perKind[kindIndex(kind)].queued.Add(d)
+}
+
+func (m *Metrics) jobRunningDelta(kind string, d int64) {
+	m.JobsRunning.Add(d)
+	m.perKind[kindIndex(kind)].running.Add(d)
 }
 
 // ObserveSolve records one solver invocation's wall time.
@@ -73,24 +157,45 @@ func (h *histogram) observe(v float64) {
 }
 
 // WritePrometheus renders all metrics in Prometheus text exposition
-// format.
+// format. Job lifecycle metrics emit the unlabeled aggregate series
+// first, then one {kind=...} series per job family under the same
+// metric name and header.
 func (m *Metrics) WritePrometheus(w io.Writer) {
+	counterByKind := func(name, help string, total uint64, per func(*kindCounters) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, total)
+		for i := range jobKinds {
+			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, jobKinds[i], per(&m.perKind[i]))
+		}
+	}
+	gaugeByKind := func(name, help string, total int64, per func(*kindCounters) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, total)
+		for i := range jobKinds {
+			fmt.Fprintf(w, "%s{kind=%q} %d\n", name, jobKinds[i], per(&m.perKind[i]))
+		}
+	}
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("nocserve_jobs_submitted_total", "Accepted synthesis submissions.", m.JobsSubmitted.Load())
-	counter("nocserve_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical job.", m.JobsCoalesced.Load())
-	counter("nocserve_jobs_rejected_total", "Submissions refused (queue full or draining).", m.JobsRejected.Load())
-	gauge("nocserve_jobs_queued", "Jobs waiting for a worker.", m.JobsQueued.Load())
-	gauge("nocserve_jobs_running", "Jobs currently solving.", m.JobsRunning.Load())
-	counter("nocserve_jobs_done_total", "Jobs completed successfully.", m.JobsDone.Load())
-	counter("nocserve_jobs_failed_total", "Jobs completed with an error.", m.JobsFailed.Load())
-	counter("nocserve_jobs_canceled_total", "Jobs canceled before completion.", m.JobsCanceled.Load())
-	counter("nocserve_cache_hits_total", "Result cache hits.", m.CacheHits.Load())
-	counter("nocserve_cache_misses_total", "Result cache misses.", m.CacheMisses.Load())
+	counterByKind("nocserve_jobs_submitted_total", "Accepted synthesis submissions.", m.JobsSubmitted.Load(),
+		func(k *kindCounters) uint64 { return k.submitted.Load() })
+	counterByKind("nocserve_jobs_coalesced_total", "Submissions coalesced onto an in-flight identical job.", m.JobsCoalesced.Load(),
+		func(k *kindCounters) uint64 { return k.coalesced.Load() })
+	counterByKind("nocserve_jobs_rejected_total", "Submissions refused (queue full or draining).", m.JobsRejected.Load(),
+		func(k *kindCounters) uint64 { return k.rejected.Load() })
+	gaugeByKind("nocserve_jobs_queued", "Jobs waiting for a worker.", m.JobsQueued.Load(),
+		func(k *kindCounters) int64 { return k.queued.Load() })
+	gaugeByKind("nocserve_jobs_running", "Jobs currently solving.", m.JobsRunning.Load(),
+		func(k *kindCounters) int64 { return k.running.Load() })
+	counterByKind("nocserve_jobs_done_total", "Jobs completed successfully.", m.JobsDone.Load(),
+		func(k *kindCounters) uint64 { return k.done.Load() })
+	counterByKind("nocserve_jobs_failed_total", "Jobs completed with an error.", m.JobsFailed.Load(),
+		func(k *kindCounters) uint64 { return k.failed.Load() })
+	counterByKind("nocserve_jobs_canceled_total", "Jobs canceled before completion.", m.JobsCanceled.Load(),
+		func(k *kindCounters) uint64 { return k.canceled.Load() })
+	counterByKind("nocserve_cache_hits_total", "Result cache hits.", m.CacheHits.Load(),
+		func(k *kindCounters) uint64 { return k.cacheHits.Load() })
+	counterByKind("nocserve_cache_misses_total", "Result cache misses.", m.CacheMisses.Load(),
+		func(k *kindCounters) uint64 { return k.cacheMisses.Load() })
 	counter("nocserve_store_errors_total", "Result store faults (reads and writes).", m.StoreErrors.Load())
 	counter("nocserve_solves_total", "Actual solver invocations.", m.Solves.Load())
 	fmt.Fprintf(w, "# HELP nocserve_cache_hit_ratio Result cache hit ratio.\n# TYPE nocserve_cache_hit_ratio gauge\nnocserve_cache_hit_ratio %g\n",

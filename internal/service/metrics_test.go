@@ -1,0 +1,137 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? (-?[0-9.eE+]+|\+Inf|NaN)$`)
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .+$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+)
+
+// parseExposition is a minimal Prometheus text-format parser: it checks
+// every line is a well-formed HELP/TYPE comment or sample, that each
+// metric's samples follow its headers, and returns sample values keyed
+// by "name" or `name{labels}`.
+func parseExposition(t *testing.T, data []byte) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	headered := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			headered[m[1]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("malformed comment line: %q", line)
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum")
+		base = strings.TrimSuffix(base, "_count")
+		if !headered[m[1]] && !headered[base] {
+			t.Fatalf("sample %q appears before its # TYPE header", line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(m[4], "+"), 64)
+		if err != nil && m[4] != "+Inf" {
+			t.Fatalf("sample %q has unparseable value: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestMetricsKindLabels exercises every job family's counters and checks
+// the exposition parses, carries one {kind=...} series per family, and
+// that the labeled series sum to the unlabeled aggregate.
+func TestMetricsKindLabels(t *testing.T) {
+	var m Metrics
+	m.jobSubmitted("")
+	m.jobSubmitted(JobKindSimulate)
+	m.jobSubmitted(JobKindSimulate)
+	m.jobSubmitted(JobKindFrontier)
+	m.jobCoalesced(JobKindFrontier)
+	m.jobRejected("")
+	m.jobDone(JobKindSimulate)
+	m.jobFailed(JobKindFrontier)
+	m.jobCanceled("")
+	m.cacheHit(JobKindFrontier)
+	m.cacheMiss("")
+	m.jobQueuedDelta(JobKindFrontier, 1)
+	m.jobRunningDelta(JobKindSimulate, 1)
+	m.ObserveSolve(5 * time.Millisecond)
+
+	var buf bytes.Buffer
+	m.WritePrometheus(&buf)
+	samples := parseExposition(t, buf.Bytes())
+
+	for _, name := range []string{
+		"nocserve_jobs_submitted_total",
+		"nocserve_jobs_coalesced_total",
+		"nocserve_jobs_rejected_total",
+		"nocserve_jobs_queued",
+		"nocserve_jobs_running",
+		"nocserve_jobs_done_total",
+		"nocserve_jobs_failed_total",
+		"nocserve_jobs_canceled_total",
+		"nocserve_cache_hits_total",
+		"nocserve_cache_misses_total",
+	} {
+		agg, ok := samples[name]
+		if !ok {
+			t.Errorf("missing aggregate series %s", name)
+			continue
+		}
+		var sum float64
+		for _, kind := range jobKinds {
+			labeled := fmt.Sprintf("%s{kind=%q}", name, kind)
+			v, ok := samples[labeled]
+			if !ok {
+				t.Errorf("missing labeled series %s", labeled)
+			}
+			sum += v
+		}
+		if sum != agg {
+			t.Errorf("%s: labeled series sum to %g, aggregate is %g", name, sum, agg)
+		}
+	}
+
+	for series, want := range map[string]float64{
+		`nocserve_jobs_submitted_total{kind="synthesize"}`: 1,
+		`nocserve_jobs_submitted_total{kind="simulate"}`:   2,
+		`nocserve_jobs_submitted_total{kind="frontier"}`:   1,
+		`nocserve_jobs_coalesced_total{kind="frontier"}`:   1,
+		`nocserve_jobs_failed_total{kind="frontier"}`:      1,
+		`nocserve_cache_hits_total{kind="frontier"}`:       1,
+		`nocserve_jobs_queued{kind="frontier"}`:            1,
+		`nocserve_jobs_running{kind="simulate"}`:           1,
+	} {
+		if got := samples[series]; got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	if samples["nocserve_solves_total"] != 1 {
+		t.Errorf("nocserve_solves_total = %g, want 1", samples["nocserve_solves_total"])
+	}
+}

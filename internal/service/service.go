@@ -15,8 +15,8 @@
 // byte-identical canonical encoding of its result.
 //
 // Persistence is pluggable behind the Store interface (memory LRU, disk,
-// tiered), mirroring the service/db split of the audit-log reference
-// design in /root/related.
+// tiered): the daemon core never touches storage directly, so backends
+// can be swapped or stacked without changing queue or worker code.
 package service
 
 import (
@@ -182,7 +182,10 @@ type Request struct {
 // worker count, and timed-out (partial) results are never cached — so
 // requests differing only in those coordinates share one cache line.
 // IsoTimeout *is* keyed: a truncated per-enumeration search can silently
-// alter the answer without marking the result partial.
+// alter the answer without marking the result partial. MaxLatency is
+// keyed (it changes the constrained optimum); InitialBound is not — it
+// is unreachable from the wire API, where the frontier sweep owns
+// warm-start seeding and caches only whole-frontier documents.
 func CacheKey(acg *graph.Graph, opts repro.Options, lib *primitives.Library) string {
 	h := sha256.New()
 	var buf [8]byte
@@ -198,7 +201,7 @@ func CacheKey(acg *graph.Graph, opts repro.Options, lib *primitives.Library) str
 			wu(0)
 		}
 	}
-	h.Write([]byte{1}) // key layout version
+	h.Write([]byte{2}) // key layout version (2: added MaxLatency)
 	sum := acg.Freeze().CanonicalHash()
 	h.Write(sum[:])
 
@@ -206,6 +209,7 @@ func CacheKey(acg *graph.Graph, opts repro.Options, lib *primitives.Library) str
 	wu(uint64(int64(opts.MatchLimit)))
 	wu(uint64(opts.IsoTimeout)) // truncation can change the answer
 	wb(opts.DisableBound)
+	wf(opts.MaxLatency)
 	wf(opts.Constraints.LinkBandwidthMbps)
 	wf(opts.Constraints.MaxBisectionMbps)
 
@@ -270,8 +274,8 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 		opts.Timeout = s.cfg.MaxTimeout
 	}
 	key := CacheKey(req.ACG, opts, s.lib)
-	s.Metrics.JobsSubmitted.Add(1)
-	return s.submitKeyed(key, req.Wait, func() *Job {
+	s.Metrics.jobSubmitted("")
+	return s.submitKeyed(key, req.Wait, "", func() *Job {
 		job := s.newJobLocked(key, req.Wait)
 		job.acg = req.ACG
 		job.opts = opts
@@ -282,12 +286,12 @@ func (s *Service) Submit(req Request) (*Job, string, error) {
 // submitKeyed is the submission core shared by every job kind: coalesce
 // onto an in-flight job for the key, serve from the result cache, or
 // register and enqueue the job build() constructs (build runs with s.mu
-// held and must register via newJobLocked).
-func (s *Service) submitKeyed(key string, wait bool, build func() *Job) (*Job, string, error) {
+// held and must register via newJobLocked). kind labels the metrics.
+func (s *Service) submitKeyed(key string, wait bool, kind string, build func() *Job) (*Job, string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.Metrics.JobsRejected.Add(1)
+		s.Metrics.jobRejected(kind)
 		return nil, "", ErrDraining
 	}
 	// Coalesce before consulting the store: a running job means the store
@@ -295,7 +299,7 @@ func (s *Service) submitKeyed(key string, wait bool, build func() *Job) (*Job, s
 	// in-flight entry (both under mu), so every submitter sees at least
 	// one of them and a duplicate solve cannot slip through the gap.
 	if job := s.inflight[key]; job != nil {
-		s.Metrics.JobsCoalesced.Add(1)
+		s.Metrics.jobCoalesced(kind)
 		job.attach(wait)
 		return job, "coalesced", nil
 	}
@@ -303,8 +307,8 @@ func (s *Service) submitKeyed(key string, wait bool, build func() *Job) (*Job, s
 		s.Metrics.StoreErrors.Add(1)
 		return nil, "", fmt.Errorf("%w: cache read: %v", ErrStore, err)
 	} else if ok {
-		s.Metrics.CacheHits.Add(1)
-		s.Metrics.JobsDone.Add(1)
+		s.Metrics.cacheHit(kind)
+		s.Metrics.jobDone(kind)
 		job := build()
 		job.finishCached(val)
 		return job, "cache", nil
@@ -319,12 +323,12 @@ func (s *Service) submitKeyed(key string, wait bool, build func() *Job) (*Job, s
 		delete(s.jobs, job.ID)
 		s.jobOrder = s.jobOrder[:len(s.jobOrder)-1]
 		job.cancel()
-		s.Metrics.JobsRejected.Add(1)
+		s.Metrics.jobRejected(kind)
 		return nil, "", ErrQueueFull
 	}
-	s.Metrics.CacheMisses.Add(1)
+	s.Metrics.cacheMiss(kind)
 	s.inflight[key] = job
-	s.Metrics.JobsQueued.Add(1)
+	s.Metrics.jobQueuedDelta(kind, 1)
 	return job, "queued", nil
 }
 
@@ -413,7 +417,7 @@ func (s *Service) ResultByKey(key string) ([]byte, bool, error) {
 
 // run executes one job on a worker goroutine.
 func (s *Service) run(job *Job) {
-	s.Metrics.JobsQueued.Add(-1)
+	s.Metrics.jobQueuedDelta(job.kind, -1)
 	job.mu.Lock()
 	if job.state != StateQueued { // canceled while waiting in the queue
 		job.mu.Unlock()
@@ -426,8 +430,8 @@ func (s *Service) run(job *Job) {
 	ctx := job.ctx
 	job.mu.Unlock()
 
-	s.Metrics.JobsRunning.Add(1)
-	defer s.Metrics.JobsRunning.Add(-1)
+	s.Metrics.jobRunningDelta(job.kind, 1)
+	defer s.Metrics.jobRunningDelta(job.kind, -1)
 
 	solveCtx, cancel := context.WithTimeout(ctx, opts.Timeout)
 	defer cancel()
@@ -481,7 +485,7 @@ func (s *Service) finishJob(job *Job, res *repro.Result, enc []byte, err error) 
 	case err == nil:
 		job.state = StateDone
 		job.encoded = enc
-		s.Metrics.JobsDone.Add(1)
+		s.Metrics.jobDone(job.kind)
 	case errors.Is(err, context.Canceled), job.ctx.Err() != nil:
 		// The second clause catches cancellations the solver reports as
 		// a domain error ("no feasible decomposition (... canceled)")
@@ -489,11 +493,11 @@ func (s *Service) finishJob(job *Job, res *repro.Result, enc []byte, err error) 
 		// canceled, the job was canceled.
 		job.state = StateCanceled
 		job.errMsg = "canceled"
-		s.Metrics.JobsCanceled.Add(1)
+		s.Metrics.jobCanceled(job.kind)
 	default:
 		job.state = StateFailed
 		job.errMsg = err.Error()
-		s.Metrics.JobsFailed.Add(1)
+		s.Metrics.jobFailed(job.kind)
 	}
 	job.mu.Unlock()
 	job.cancel() // release the job context's resources

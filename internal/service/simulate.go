@@ -70,9 +70,9 @@ func (s *Service) SubmitSimulate(req SimulateRequest) (*Job, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	s.Metrics.JobsSubmitted.Add(1)
+	s.Metrics.jobSubmitted(JobKindSimulate)
 	sim := req.Sim
-	return s.submitKeyed(key, req.Wait, func() *Job {
+	return s.submitKeyed(key, req.Wait, JobKindSimulate, func() *Job {
 		job := s.newJobLocked(key, req.Wait)
 		job.kind = JobKindSimulate
 		job.opts.Timeout = timeout // run() reads the deadline from opts

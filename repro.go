@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/cmplx"
 	"math/rand"
@@ -60,6 +61,9 @@ type (
 	NetworkConfig = noc.Config
 	// KeySchedule is an expanded AES-128 key.
 	KeySchedule = aes.KeySchedule
+	// MatchCache is a shareable memoized candidate cache for sweeps of
+	// related solves (see Options.MatchCache).
+	MatchCache = core.MatchCache
 )
 
 // Re-exported constructors and models.
@@ -77,6 +81,8 @@ var (
 	Tech180 = energy.Tech180
 	Tech130 = energy.Tech130
 	Tech100 = energy.Tech100
+	// NewMatchCache builds a shareable candidate cache (0 = default cap).
+	NewMatchCache = core.NewMatchCache
 )
 
 // CostMode selects the decomposition objective.
@@ -127,7 +133,33 @@ type Options struct {
 	// result to be retained in the match cache (0 = the measured 1 ms
 	// default; negative retains everything).
 	IsoCacheMinCost time.Duration
+	// MaxLatency constrains the decomposition's volume-weighted average
+	// hop latency (Decomposition.AvgHops) — the ε of the frontier
+	// sweep's ε-constraint scheme. Zero disables the constraint; an
+	// unsatisfiable ceiling makes synthesis fail with no feasible
+	// decomposition.
+	MaxLatency float64
+	// InitialBound warm-starts the branch-and-bound incumbent with an
+	// exclusive ceiling: a cost already known to be achievable (the
+	// frontier sweep seeds it with the previous ε-point's cost). The
+	// search returns only decompositions strictly cheaper than the
+	// seed — byte-identical to the cold result when one exists, and
+	// ErrInfeasible when the seed is already optimal — while pruning
+	// the equal-cost tie space a cold solve must canonicalize, so it
+	// explores strictly fewer nodes whenever ties exist. Zero disables.
+	InitialBound float64
+	// MatchCache shares memoized candidate enumerations across
+	// sequential solves over the same graph, library, placement, energy
+	// model and limits (nil = a fresh per-solve cache).
+	MatchCache *MatchCache
 }
+
+// ErrInfeasible is wrapped by Synthesize when the search space holds no
+// decomposition satisfying the active constraints (bandwidth ceilings,
+// MaxLatency) — as opposed to failing on a malformed input. Callers
+// sweeping a constraint, like the frontier enumerator, test for it with
+// errors.Is to tell "this ε is too tight" from a hard error.
+var ErrInfeasible = errors.New("no feasible decomposition")
 
 // Result is the full synthesis output: the decomposition, the glued
 // customized architecture, its routing table and the deadlock-free VC
@@ -198,14 +230,17 @@ func SynthesizeContext(ctx context.Context, acg *Graph, opts Options) (*Result, 
 			DisableIsoCache: opts.DisableIsoCache,
 			IsoCacheEntries: opts.IsoCacheEntries,
 			IsoCacheMinCost: opts.IsoCacheMinCost,
+			MaxLatency:      opts.MaxLatency,
+			InitialBound:    opts.InitialBound,
+			MatchCache:      opts.MatchCache,
 		},
 	})
 	if err != nil {
 		return nil, err
 	}
 	if res.Best == nil {
-		return nil, fmt.Errorf("repro: no feasible decomposition (timed out: %v, canceled: %v, constraint failures: %d)",
-			res.Stats.TimedOut, res.Stats.Canceled, res.Stats.ConstraintFails)
+		return nil, fmt.Errorf("repro: %w (timed out: %v, canceled: %v, constraint failures: %d)",
+			ErrInfeasible, res.Stats.TimedOut, res.Stats.Canceled, res.Stats.ConstraintFails)
 	}
 	arch, err := topology.FromDecomposition(acg.Name()+"-custom", acg, res.Best, opts.Placement)
 	if err != nil {

@@ -23,7 +23,7 @@ trajectory="BENCH_trajectory.json"
 count="${BENCH_COUNT:-3}"
 
 raw=$(go test -run '^$' \
-    -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh|BenchmarkSweepUniformMesh' \
+    -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh|BenchmarkSweepUniformMesh|BenchmarkFrontierAES' \
     -benchmem -benchtime "$benchtime" -count "$count" .)
 
 # Simulator-kernel trajectory (PR 5 + the PR 7 SoA/batch engine): idle-
