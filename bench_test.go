@@ -397,6 +397,91 @@ func BenchmarkSweepBA1k(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(warmup+measure), "ns/cycle")
 }
 
+// ba10k holds the 10k-router Barabási–Albert architecture for the
+// sparse-compilation benchmark. Only the topology is shared — each
+// benchmark iteration runs the full sparse pipeline itself, which is
+// the thing being timed.
+var ba10k struct {
+	once sync.Once
+	arch *topology.Architecture
+	err  error
+}
+
+func ba10kFixture(b *testing.B) *topology.Architecture {
+	b.Helper()
+	ba10k.once.Do(func() {
+		g, err := randgraph.BarabasiAlbert(10000, 2, 8, 64, 5)
+		if err != nil {
+			ba10k.err = err
+			return
+		}
+		arch := topology.New(g.Name(), g.Nodes(), nil)
+		seen := make(map[[2]graph.NodeID]bool)
+		for _, e := range g.Edges() {
+			u, v := e.From, e.To
+			if u > v {
+				u, v = v, u
+			}
+			if u == v || seen[[2]graph.NodeID{u, v}] {
+				continue
+			}
+			seen[[2]graph.NodeID{u, v}] = true
+			if err := arch.AddLink(u, v, 0); err != nil {
+				ba10k.err = err
+				return
+			}
+		}
+		ba10k.arch = arch
+	})
+	if ba10k.err != nil {
+		b.Fatal(ba10k.err)
+	}
+	return ba10k.arch
+}
+
+// BenchmarkCompileSparseBA10k times the demand-driven compile pipeline
+// at the scale the dense path cannot reach: 10,000 scale-free routers
+// under hotspot demand (every source x 4 hubs, ~40k pairs). Each
+// iteration is the full sparse arm of the batch planner — SparseRouter,
+// destination-rooted Precompute (4 Dijkstras, not 10k), VC assignment
+// over the demanded routes, CompileTablePairs. The table-bytes metric
+// is the resident footprint the 12-GB dense layout is being traded
+// against; the CI gate tracks both it and the wall clock.
+func BenchmarkCompileSparseBA10k(b *testing.B) {
+	arch := ba10kFixture(b)
+	n := len(arch.Nodes())
+	demand := routing.NewPairSet(n)
+	hubs := []int{0, 17, 4096, 9999}
+	for s := 0; s < n; s++ {
+		for _, h := range hubs {
+			demand.Add(s, h)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ct *routing.CompiledTable
+	for i := 0; i < b.N; i++ {
+		router, err := routing.NewSparseRouter(arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, err := router.Precompute(demand, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vcs, err := routing.AssignVirtualChannels(rs, arch, demand.NodePairs(router.Frozen().IDs()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ct, err = routing.CompileTablePairs(rs, arch, vcs, demand)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ct.MemoryFootprint()), "table-bytes")
+	b.ReportMetric(float64(ct.PairCount()), "pairs")
+}
+
 // BenchmarkAblationBounding quantifies the Figure 3 lower-bound pruning:
 // the same AES instance with and without the bound.
 func BenchmarkAblationBounding(b *testing.B) {

@@ -681,22 +681,37 @@ var batchSweepRates = []float64{0.02, 0.06, 0.12, 0.25}
 // failures are recorded, not fatal: a batch row with a broken sweep
 // still carries its synthesis result.
 func sweepArchitecture(ctx context.Context, arch *topology.Architecture, table routing.Table, vcs routing.VCAssignment, patterns []string, seed int64) []archSweep {
-	ct, err := routing.CompileTable(table, arch, vcs)
+	// Build the patterns first so their union demand bounds how much of
+	// the table gets compiled; synthesized architectures are small, so
+	// this usually degenerates to the dense all-pairs compile, but the
+	// demand plumbing keeps the path identical to the batch engine's.
+	out := make([]archSweep, len(patterns))
+	pats := make([]*noc.Pattern, len(patterns))
+	demand := routing.NewPairSet(len(arch.Nodes()))
+	for pi, name := range patterns {
+		out[pi] = archSweep{Pattern: name}
+		p, err := noc.NewPattern(name, len(arch.Nodes()))
+		if err != nil {
+			out[pi].Error = err.Error()
+			continue
+		}
+		pats[pi] = p
+		if err := demand.AddUnion(p.Pairs()); err != nil {
+			return []archSweep{{Error: err.Error()}}
+		}
+	}
+	ct, err := routing.CompileTablePairs(table, arch, vcs, demand)
 	if err != nil {
 		return []archSweep{{Error: err.Error()}}
 	}
-	out := make([]archSweep, len(patterns))
 	batch := &noc.Batch{
 		Archs:       []noc.BatchArch{{Cfg: noc.DefaultConfig(), Arch: arch, Table: ct}},
 		Parallelism: 1, // scenarios already fan out across workers
 	}
 	type coord struct{ pattern, rate int }
 	var coords []coord // batch point index -> (pattern, rate) indices
-	for pi, name := range patterns {
-		out[pi] = archSweep{Pattern: name}
-		p, err := noc.NewPattern(name, len(arch.Nodes()))
-		if err != nil {
-			out[pi].Error = err.Error()
+	for pi, p := range pats {
+		if p == nil {
 			continue
 		}
 		for ri, rate := range batchSweepRates {

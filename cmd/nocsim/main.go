@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -77,6 +78,7 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "seed choosing which links fail per -faultrates step")
 
 	simBatch := flag.String("simbatch", "", "batch mode: run a bulk-simulate request file (noc.SimRequest JSON, the /v1/simulate body) locally, emit the canonical SimResponse JSON")
+	memStats := flag.Bool("memstats", false, "batch mode: report the live heap after the run on stderr (the CI gate for sparse-table memory)")
 	sweep := flag.Bool("sweep", false, "run a saturation sweep across an injection-rate ladder, emit JSON")
 	rates := flag.String("rates", "", "sweep: explicit comma-separated rate ladder (overrides -ratemin/-ratemax/-ratesteps)")
 	rateMin := flag.Float64("ratemin", 0.01, "sweep: lowest rate of the generated ladder")
@@ -101,7 +103,7 @@ func main() {
 	}()
 
 	if *simBatch != "" {
-		runSimBatch(ctx, *simBatch, *parallel, *out)
+		runSimBatch(ctx, *simBatch, *parallel, *out, *memStats)
 		return
 	}
 
@@ -125,49 +127,72 @@ func main() {
 		check(fmt.Errorf("-faults and -faultrates are exclusive: the reliability ladder chooses its own fault maps"))
 	}
 
-	// newNet builds a cold simulator over the selected architecture; the
-	// sweep harness calls it once per worker and rewinds it between rate
-	// points, and every network it returns shares one compiled routing
-	// table (built here, once).
-	var newNet func() (*noc.Network, error)
-	var arch *topology.Architecture
+	// Resolve the architecture's node count before compiling anything:
+	// the pattern is built first so its demand set can drive how much
+	// routing table the factory compiles.
+	var meshRows, meshCols int
+	var synthRes *repro.Result
+	var nodeCount int
 	switch {
 	case *mesh != "":
-		var rows, cols int
-		if _, err := fmt.Sscanf(*mesh, "%dx%d", &rows, &cols); err != nil {
+		if _, err := fmt.Sscanf(*mesh, "%dx%d", &meshRows, &meshCols); err != nil {
 			check(fmt.Errorf("bad -mesh %q: %v", *mesh, err))
 		}
-		factory, meshArch, err := repro.MeshNetworkFactory(rows, cols, nil, cfg)
-		check(err)
-		newNet = factory
-		arch = meshArch
+		if meshRows < 1 || meshCols < 1 {
+			check(fmt.Errorf("bad -mesh %q", *mesh))
+		}
+		nodeCount = meshRows * meshCols
 	case *acgPath != "":
 		data, err := os.ReadFile(*acgPath)
 		check(err)
 		var acg graph.Graph
 		check(json.Unmarshal(data, &acg))
-		res, err := repro.SynthesizeContext(ctx, &acg, repro.Options{Timeout: 60 * time.Second})
+		synthRes, err = repro.SynthesizeContext(ctx, &acg, repro.Options{Timeout: 60 * time.Second})
 		check(err)
-		newNet = func() (*noc.Network, error) { return res.NewNetwork(cfg) }
-		arch = res.Architecture
+		nodeCount = len(synthRes.Architecture.Nodes())
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	net, err := newNet()
-	check(err)
-
 	spec := *pattern
 	if spec == "hotspot" {
 		spec = fmt.Sprintf("hotspot:%s:%g", *hotspots, *hotfrac)
 	}
-	pat, err := noc.NewPattern(spec, len(net.Nodes()))
+	pat, err := noc.NewPattern(spec, nodeCount)
 	check(err)
 	var burstCfg *noc.BurstConfig
 	if *burst > 0 {
 		burstCfg = &noc.BurstConfig{AvgBurstCycles: *burst, OnFraction: *burstOn}
 	}
+
+	// The pattern's demand set bounds which route plans the compiled
+	// table needs ahead of time; a replayed trace may address any pair,
+	// so it keeps the dense all-pairs compile (demand nil).
+	var demand *repro.PairSet
+	if *traceIn == "" {
+		demand = pat.Pairs()
+	}
+
+	// newNet builds a cold simulator over the selected architecture; the
+	// sweep harness calls it once per worker and rewinds it between rate
+	// points, and every network it returns shares one compiled routing
+	// table (built here, once, for the pattern's demand).
+	var newNet func() (*noc.Network, error)
+	var arch *topology.Architecture
+	if *mesh != "" {
+		factory, meshArch, err := repro.MeshNetworkFactoryPairs(meshRows, meshCols, nil, cfg, demand)
+		check(err)
+		newNet = factory
+		arch = meshArch
+	} else {
+		res := synthRes
+		newNet = func() (*noc.Network, error) { return res.NewNetworkPairs(cfg, demand) }
+		arch = synthRes.Architecture
+	}
+
+	net, err := newNet()
+	check(err)
 
 	if *sweep || *faultRates != "" {
 		ladder, err := rateLadder(*rates, *rateMin, *rateMax, *rateSteps)
@@ -284,7 +309,7 @@ func main() {
 // engine — the same noc.RunSim call the /v1/simulate endpoint makes, so
 // the emitted bytes cmp-equal the service's response for the same
 // request at any -parallel setting.
-func runSimBatch(ctx context.Context, path string, parallel int, out string) {
+func runSimBatch(ctx context.Context, path string, parallel int, out string, memStats bool) {
 	data, err := os.ReadFile(path)
 	check(err)
 	dec := json.NewDecoder(strings.NewReader(string(data)))
@@ -293,6 +318,19 @@ func runSimBatch(ctx context.Context, path string, parallel int, out string) {
 	check(dec.Decode(&req))
 	res, err := noc.RunSim(ctx, &req, parallel)
 	check(err)
+	if memStats {
+		// Two figures: the post-GC live heap (what survives the run) and
+		// Sys, the high-water mark of memory claimed from the OS — the
+		// resident-footprint number the 10k-router smoke gates below
+		// 1 GB. A dense all-pairs table at that scale would have pushed
+		// Sys past 12 GB before the first cycle.
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		fmt.Fprintf(os.Stderr, "nocsim: heap after batch: %d bytes live (%.1f MB), %d bytes from the OS (%.1f MB)\n",
+			ms.HeapAlloc, float64(ms.HeapAlloc)/(1<<20),
+			ms.Sys, float64(ms.Sys)/(1<<20))
+	}
 	sink := os.Stdout
 	if out != "-" && out != "" {
 		f, err := os.Create(out)

@@ -37,6 +37,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -146,6 +147,14 @@ func main() {
 
 	start := time.Now()
 	res, err := repro.SynthesizeContext(ctx, &acg, opts)
+	var inf *repro.InfeasibleError
+	if errors.As(err, &inf) {
+		// Report how hard the search tried before giving up, so an
+		// infeasible verdict is distinguishable from an untried one.
+		fmt.Fprintf(os.Stderr, "nocsynth: search effort: %d tree nodes, %d pruned, timed out: %v, canceled: %v, constraint failures: %d\n",
+			inf.Stats.NodesExplored, inf.Stats.BranchesPruned,
+			inf.Stats.TimedOut, inf.Stats.Canceled, inf.Stats.ConstraintFails)
+	}
 	check(err)
 
 	fmt.Printf("synthesized %q in %.3f s (%d workers, %d tree nodes, %d pruned, iso cache %d/%d hits, timed out: %v, interrupted: %v)\n\n",

@@ -161,7 +161,9 @@ type GridPoint struct {
 	Emitted bool
 	// Warm reports whether the solve was seeded from its predecessor.
 	Warm bool
-	// NodesExplored and Elapsed are the solve's search effort.
+	// NodesExplored and Elapsed are the solve's search effort —
+	// including, for infeasible grid points, the branch-and-bound work
+	// of the infeasibility proof (carried by repro.InfeasibleError).
 	NodesExplored int
 	Elapsed       time.Duration
 }
@@ -349,6 +351,12 @@ func Enumerate(ctx context.Context, acg *repro.Graph, opts Options) (*Result, er
 				return res, ctx.Err()
 			}
 			if errors.Is(err, repro.ErrInfeasible) {
+				// The infeasibility proof cost real search effort;
+				// surface it instead of the historical hardcoded 0.
+				var inf *repro.InfeasibleError
+				if errors.As(err, &inf) {
+					gp.NodesExplored = inf.Stats.NodesExplored
+				}
 				if warm {
 					// The exclusive warm bound found no strict
 					// improvement: this ε is dominated by the previous

@@ -288,16 +288,45 @@ func (m EdgeMask) ForEach(fn func(e int)) {
 // indices first among equal distances — so paths reconstructed from prev
 // are identical to the map-based per-pair searches.
 func (f *Frozen) ShortestPathTree(src int, w []float64) (dist []float64, prev []int32) {
+	return f.ShortestPathTreeInto(src, w, nil)
+}
+
+// TreeScratch holds the reusable working state of ShortestPathTreeInto.
+// A worker computing many shortest-path trees (the demand-driven sparse
+// route precompute) allocates one scratch and amortizes every buffer
+// across calls; the zero value is ready to use.
+type TreeScratch struct {
+	dist []float64
+	prev []int32
+	done []bool
+	pq   idxPQ
+}
+
+// ShortestPathTreeInto is ShortestPathTree with caller-owned working
+// memory: all four buffers are taken from s (grown as needed) and the
+// returned dist/prev alias s, valid until the next call with the same
+// scratch. A nil scratch allocates freshly, exactly like
+// ShortestPathTree. Tie-breaks are identical to ShortestPathTree.
+func (f *Frozen) ShortestPathTreeInto(src int, w []float64, s *TreeScratch) (dist []float64, prev []int32) {
+	if s == nil {
+		s = &TreeScratch{}
+	}
 	n := len(f.ids)
-	dist = make([]float64, n)
-	prev = make([]int32, n)
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+		s.prev = make([]int32, n)
+		s.done = make([]bool, n)
+	}
+	dist, prev = s.dist[:n], s.prev[:n]
+	done := s.done[:n]
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		prev[i] = -1
+		done[i] = false
 	}
 	dist[src] = 0
-	done := make([]bool, n)
-	pq := &idxPQ{{id: int32(src), cost: 0}}
+	pq := &s.pq
+	*pq = append((*pq)[:0], idxItem{id: int32(src), cost: 0})
 	for pq.Len() > 0 {
 		item := heap.Pop(pq).(idxItem)
 		u := int(item.id)

@@ -233,10 +233,22 @@ func (b *Batch) Run(ctx context.Context) ([]RatePoint, error) {
 	})
 }
 
-// maxSimNodes bounds wire-requested topologies: the all-pairs compiled
-// routing table is O(n^2) in node count, so an unbounded request could
-// pin gigabytes server-side.
-const maxSimNodes = 2048
+// maxSimNodes bounds wire-requested topologies. Architectures up to
+// maxDenseSimNodes compile the classic dense all-pairs table; larger
+// ones require every point's pattern to declare a sparse demand set
+// (anything but uniform), which is what makes 10k-router batches
+// feasible at megabytes instead of the ~12 GB a dense 10k table needs.
+const maxSimNodes = 16384
+
+// maxDenseSimNodes is the node count up to which BuildBatch always
+// compiles the dense all-pairs table via the full Build pipeline.
+// Below it, dense compilation is cheap, serves any demand with zero
+// plan misses, and — crucially — preserves the exact historical route
+// bytes the golden fixtures pin. Above it, the dense table (O(n²)
+// spans) and the O(n²) next-hop map are both off the table, so routes
+// come from per-root shortest-path trees (routing.SparseRouter) over
+// the unioned demand.
+const maxDenseSimNodes = 2048
 
 // SimConfig is the wire form of the hardware Config; zero fields take
 // the DefaultConfig values.
@@ -426,10 +438,16 @@ type SimRequest struct {
 func (r *SimRequest) Canonical() ([]byte, error) { return json.Marshal(r) }
 
 // BuildBatch compiles a wire request into a runnable Batch: one
-// topology + routing table (Build, AssignVirtualChannels, CompileTable)
-// per architecture, one Pattern per point. The compilation is the
-// expensive part of a simulate call — O(n^2) route pairs — and is paid
-// once per architecture here, never per point.
+// topology + routing table per architecture, one Pattern per point.
+// The compilation is the expensive part of a simulate call and is paid
+// once per architecture here, never per point — and it is demand
+// driven: patterns are built first, their Pairs() demand sets are
+// unioned per architecture, and each table is compiled dense (small
+// architectures, or all-pairs demand) or sparse (large architectures
+// with declared demand; see maxDenseSimNodes) accordingly. The network
+// pool keys on CompiledTable.Fingerprint, which covers the compiled
+// pair set, so tables over different demand unions never share pooled
+// simulator state.
 func BuildBatch(req *SimRequest) (*Batch, error) {
 	if len(req.Archs) == 0 {
 		return nil, fmt.Errorf("noc: sim request has no architectures")
@@ -444,31 +462,29 @@ func BuildBatch(req *SimRequest) (*Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		table, err := routing.Build(arch)
-		if err != nil {
-			return nil, fmt.Errorf("noc: sim architecture %d routing: %w", i, err)
-		}
-		vcs, err := routing.AssignVirtualChannels(table, arch, nil)
-		if err != nil {
-			return nil, fmt.Errorf("noc: sim architecture %d VC assignment: %w", i, err)
-		}
-		ct, err := routing.CompileTable(table, arch, vcs)
-		if err != nil {
-			return nil, fmt.Errorf("noc: sim architecture %d compile: %w", i, err)
-		}
-		b.Archs[i] = BatchArch{Cfg: cfg, Arch: arch, Table: ct}
+		b.Archs[i] = BatchArch{Cfg: cfg, Arch: arch}
 	}
+	// Patterns before tables: the per-architecture demand union decides
+	// how much table to compile.
+	demand := make([]*routing.PairSet, len(req.Archs))
 	for i := range req.Points {
 		sp := &req.Points[i]
 		if sp.Arch < 0 || sp.Arch >= len(b.Archs) {
 			return nil, fmt.Errorf("noc: sim point %d references architecture %d of %d", i, sp.Arch, len(b.Archs))
 		}
-		pat, err := NewPattern(sp.Pattern, len(b.Archs[sp.Arch].Arch.Nodes()))
+		n := len(b.Archs[sp.Arch].Arch.Nodes())
+		pat, err := NewPattern(sp.Pattern, n)
 		if err != nil {
 			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
 		}
 		mode, err := ParseRoutingMode(sp.Routing)
 		if err != nil {
+			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
+		}
+		if demand[sp.Arch] == nil {
+			demand[sp.Arch] = routing.NewPairSet(n)
+		}
+		if err := demand[sp.Arch].AddUnion(pat.Pairs()); err != nil {
 			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
 		}
 		b.Points[i] = BatchPoint{
@@ -483,7 +499,65 @@ func BuildBatch(req *SimRequest) (*Batch, error) {
 			Routing:       mode,
 		}
 	}
+	for i := range b.Archs {
+		ct, err := compileBatchTable(b.Archs[i].Arch, demand[i])
+		if err != nil {
+			return nil, fmt.Errorf("noc: sim architecture %d: %w", i, err)
+		}
+		b.Archs[i].Table = ct
+	}
 	return b, nil
+}
+
+// compileBatchTable picks the compile strategy for one architecture of
+// a batch. Up to maxDenseSimNodes it is the classic dense pipeline
+// (Build, all-pairs AssignVirtualChannels, CompileTable) regardless of
+// demand — cheap, miss-free and byte-identical to every fixture ever
+// recorded. Above that, the demand union must be sparse (uniform
+// points are rejected: their all-pairs demand is exactly the 12 GB
+// table this path exists to avoid), routes come from per-root
+// shortest-path trees, and pairs outside the demand resolve at
+// simulation time through the table's bounded lazy compile cache.
+func compileBatchTable(arch *topology.Architecture, demand *routing.PairSet) (*routing.CompiledTable, error) {
+	n := len(arch.Nodes())
+	if n <= maxDenseSimNodes {
+		table, err := routing.Build(arch)
+		if err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+		vcs, err := routing.AssignVirtualChannels(table, arch, nil)
+		if err != nil {
+			return nil, fmt.Errorf("VC assignment: %w", err)
+		}
+		ct, err := routing.CompileTable(table, arch, vcs)
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+		return ct, nil
+	}
+	if demand == nil {
+		demand = routing.NewPairSet(n)
+	}
+	if demand.All() {
+		return nil, fmt.Errorf("all-pairs (uniform) demand on %d nodes would need a dense O(n²) table; dense compilation is limited to %d nodes", n, maxDenseSimNodes)
+	}
+	router, err := routing.NewSparseRouter(arch)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	rs, err := router.Precompute(demand, 0)
+	if err != nil {
+		return nil, fmt.Errorf("routing: %w", err)
+	}
+	vcs, err := routing.AssignVirtualChannels(rs, arch, demand.NodePairs(router.Frozen().IDs()))
+	if err != nil {
+		return nil, fmt.Errorf("VC assignment: %w", err)
+	}
+	ct, err := routing.CompileTablePairs(rs, arch, vcs, demand)
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return ct, nil
 }
 
 // SimPointResult is one point's measurement, echoing its coordinates.

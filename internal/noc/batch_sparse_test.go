@@ -1,0 +1,124 @@
+package noc
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBuildBatchDenseBelowThreshold pins the compatibility policy:
+// architectures at or under maxDenseSimNodes always get the classic
+// dense all-pairs table, whatever the demand — the layout every
+// recorded fixture was produced against.
+func TestBuildBatchDenseBelowThreshold(t *testing.T) {
+	req := &SimRequest{
+		Archs: []SimArch{{Mesh: "4x4"}},
+		Points: []SimPoint{{
+			Arch: 0, Pattern: "transpose", Bits: 128, Rate: 0.05,
+			WarmupCycles: 20, MeasureCycles: 60, Seed: 1,
+		}},
+	}
+	b, err := BuildBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Archs[0].Table.AllPairs() {
+		t.Fatal("small architecture compiled sparse")
+	}
+}
+
+// TestBuildBatchSparseLargeArch drives the demand-driven path end to
+// end on a 2116-router mesh (above maxDenseSimNodes): the table is
+// sparse and covers exactly the transpose ∪ hotspot demand union, the
+// simulation completes, and the hotspot point's uniform escape traffic
+// shows up as lazy plan-cache misses in its stats.
+func TestBuildBatchSparseLargeArch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2116-router batch in -short mode")
+	}
+	req := &SimRequest{
+		Archs: []SimArch{{Mesh: "46x46"}},
+		Points: []SimPoint{
+			{
+				Arch: 0, Pattern: "transpose", Bits: 128, Rate: 0.02,
+				WarmupCycles: 20, MeasureCycles: 60, Seed: 7,
+			},
+			{
+				Arch: 0, Pattern: "hotspot:0:0.9", Bits: 128, Rate: 0.02,
+				WarmupCycles: 20, MeasureCycles: 60, Seed: 7,
+				IncludeStats: true,
+			},
+		},
+	}
+	b, err := BuildBatch(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := b.Archs[0].Table
+	if ct.AllPairs() {
+		t.Fatal("large architecture compiled dense")
+	}
+	n := 46 * 46
+	pat1, err := NewPattern("transpose", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat2, err := NewPattern("hotspot:0:0.9", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := pat1.Pairs()
+	if err := union.AddUnion(pat2.Pairs()); err != nil {
+		t.Fatal(err)
+	}
+	if ct.PairCount() != union.Len() {
+		t.Fatalf("table covers %d pairs, demand union has %d", ct.PairCount(), union.Len())
+	}
+	// The whole point: the sparse index plus its plans stay tiny next to
+	// the ~n² dense layout (the 2116² span array alone is ~18 MB).
+	if fp := ct.MemoryFootprint(); fp > 8<<20 {
+		t.Fatalf("sparse table footprint %d bytes", fp)
+	}
+
+	res, err := RunSim(context.Background(), req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range res.Points {
+		if pt.Delivered == 0 {
+			t.Fatalf("point %d delivered nothing", i)
+		}
+	}
+	var stats struct {
+		PlanMisses int64 `json:"planMisses"`
+	}
+	if res.Points[1].Stats == nil {
+		t.Fatal("hotspot point carries no stats")
+	}
+	if err := json.Unmarshal(res.Points[1].Stats, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanMisses == 0 {
+		t.Fatal("hotspot escape traffic produced no lazy plan misses")
+	}
+}
+
+// TestBuildBatchRejectsUniformLarge: all-pairs demand above the dense
+// threshold is a refusal, not a 12 GB allocation.
+func TestBuildBatchRejectsUniformLarge(t *testing.T) {
+	req := &SimRequest{
+		Archs: []SimArch{{Mesh: "46x46"}},
+		Points: []SimPoint{{
+			Arch: 0, Pattern: "uniform", Bits: 128, Rate: 0.02,
+			WarmupCycles: 20, MeasureCycles: 60, Seed: 1,
+		}},
+	}
+	_, err := BuildBatch(req)
+	if err == nil {
+		t.Fatal("uniform demand on 2116 nodes compiled")
+	}
+	if !strings.Contains(err.Error(), "all-pairs") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -128,14 +128,14 @@ type Packet struct {
 	// of route[h+1] at route[h]'s router, or the local ejection slot at
 	// the destination).
 	route   []graph.NodeID
-	vcs     []int
+	vcs     []uint8
 	outSlot []int32
 
 	// ownRoute/ownVCs/ownSlot are the packet's reusable backing buffers
 	// for explicitly routed injections; the arena retains their capacity
 	// across recycles.
 	ownRoute []graph.NodeID
-	ownVCs   []int
+	ownVCs   []uint8
 	ownSlot  []int32
 
 	// arenaIdx is the packet's slot in Network.pktSlots while in flight;
@@ -739,13 +739,16 @@ func (n *Network) Inject(src, dst graph.NodeID, bits int, tag string) (*Packet, 
 	if n.routing == RoutingAdaptive {
 		return n.injectAdaptive(src, dst, bits, tag, si, di)
 	}
-	route, vcs, outSlot, ok := n.plans.PlanByIndex(si, di)
+	route, vcs, outSlot, miss, ok := n.plans.PlanByIndexLazy(si, di)
 	if !ok {
 		return nil, fmt.Errorf("noc: no route from %d to %d", src, dst)
 	}
 	if n.faulted && !n.planLive(si, outSlot) {
 		n.stats.Blocked++
 		return nil, fmt.Errorf("noc: %d->%d: %w", src, dst, ErrRouteFaulted)
+	}
+	if miss {
+		n.stats.PlanMisses++
 	}
 	p := n.allocPacket()
 	p.route, p.vcs, p.outSlot = route, vcs, outSlot
@@ -779,7 +782,6 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 	// built from the architecture's links.
 	p := n.allocPacket()
 	p.ownRoute = append(p.ownRoute[:0], route...)
-	p.ownVCs = append(p.ownVCs[:0], vcs...)
 	p.ownSlot = p.ownSlot[:0]
 	fail := func(err error) (*Packet, error) {
 		n.freePkts = append(n.freePkts, p)
@@ -807,6 +809,15 @@ func (n *Network) InjectRouted(src, dst graph.NodeID, bits int, tag string, rout
 		if vcs[i] < 0 || vcs[i] >= n.cfg.NumVCs {
 			return fail(fmt.Errorf("noc: vc %d out of range [0,%d)", vcs[i], n.cfg.NumVCs))
 		}
+	}
+	// Validated above for every occupied hop; the final (ejection) entry
+	// is conventionally 0 and merely needs to fit the plan's byte lanes.
+	p.ownVCs = p.ownVCs[:0]
+	for _, v := range vcs {
+		if v < 0 || v > 255 {
+			return fail(fmt.Errorf("noc: vc %d outside the plan byte range [0,256)", v))
+		}
+		p.ownVCs = append(p.ownVCs, uint8(v))
 	}
 	p.ownSlot = append(p.ownSlot, n.localSlot(int32(prev)))
 	if n.faulted && !n.planLive(int(srcIdx), p.ownSlot) {

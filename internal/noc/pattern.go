@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/routing"
 )
 
 // Pattern is a spatial traffic pattern: the rule mapping a source node
@@ -37,6 +38,47 @@ type Pattern struct {
 	// pick draws a destination rank for stochastic patterns (never returns
 	// src).
 	pick func(src int, rng *rand.Rand) int
+	// hot holds the sorted hotspot ranks of a hotspot pattern, so Pairs
+	// can enumerate the concentrated part of its support; nil otherwise.
+	hot []int
+}
+
+// Pairs enumerates the pattern's demand set: the ordered (src, dst)
+// rank pairs its packets concentrate on, the input of demand-driven
+// routing-table compilation. Deterministic permutations yield exactly
+// their non-idle (i, perm[i]) pairs; hotspot yields every source paired
+// with every hub. Uniform — and any stochastic pattern without a
+// tighter declared support — yields the symbolic all-pairs set.
+//
+// The set is where packets *concentrate*, not a hard bound: hotspot's
+// uniform escape draw (a source that picks itself as hub) can address
+// any node. Injections outside the set resolve through the simulator's
+// lazy plan cache and are counted in Stats.PlanMisses. Bursty
+// modulation (BurstConfig) is purely temporal, so the wrapped pattern's
+// demand passes through unchanged.
+func (p *Pattern) Pairs() *routing.PairSet {
+	switch {
+	case p.perm != nil:
+		ps := routing.NewPairSet(p.n)
+		for i, d := range p.perm {
+			if d != i {
+				ps.Add(i, d)
+			}
+		}
+		return ps
+	case len(p.hot) > 0:
+		ps := routing.NewPairSet(p.n)
+		for s := 0; s < p.n; s++ {
+			for _, h := range p.hot {
+				if h != s {
+					ps.Add(s, h)
+				}
+			}
+		}
+		return ps
+	default:
+		return routing.AllPairs(p.n)
+	}
 }
 
 // Name returns the pattern's canonical name.
@@ -203,6 +245,7 @@ func HotspotPattern(n int, hotspots []int, skew float64) (*Pattern, error) {
 	return &Pattern{
 		name: "hotspot",
 		n:    n,
+		hot:  hs,
 		pick: func(src int, rng *rand.Rand) int {
 			if rng.Float64() < skew {
 				if h := hs[rng.Intn(len(hs))]; h != src {

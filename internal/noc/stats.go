@@ -23,6 +23,13 @@ type Stats struct {
 	Dropped int64
 	Blocked int64
 
+	// PlanMisses counts injections whose route plan was absent from the
+	// compiled table's demand set and had to be resolved through the
+	// lazy per-pair compile cache (sparse tables only; always zero on
+	// dense all-pairs tables). A high count relative to Injected means
+	// the pattern's declared demand underestimates its support.
+	PlanMisses int64
+
 	// DeliveredBits counts payload bits of delivered packets.
 	DeliveredBits int64
 
@@ -73,7 +80,7 @@ func (s *Stats) reset() {
 	clear(s.LinkTraversals)
 	clear(s.ByTag)
 	s.Injected, s.Delivered, s.DeliveredBits = 0, 0, 0
-	s.Dropped, s.Blocked = 0, 0
+	s.Dropped, s.Blocked, s.PlanMisses = 0, 0, 0
 	s.LatencySum, s.LatencyMax = 0, 0
 	s.LatencyMin = 1<<63 - 1
 }
@@ -205,6 +212,7 @@ type statsJSON struct {
 	Delivered        int64               `json:"delivered"`
 	Dropped          int64               `json:"dropped,omitempty"`
 	Blocked          int64               `json:"blocked,omitempty"`
+	PlanMisses       int64               `json:"planMisses,omitempty"`
 	DeliveredBits    int64               `json:"deliveredBits"`
 	LatencySum       int64               `json:"latencySum"`
 	LatencyMax       int64               `json:"latencyMax"`
@@ -224,6 +232,7 @@ func (s Stats) MarshalJSON() ([]byte, error) {
 		Delivered:     s.Delivered,
 		Dropped:       s.Dropped,
 		Blocked:       s.Blocked,
+		PlanMisses:    s.PlanMisses,
 		DeliveredBits: s.DeliveredBits,
 		LatencySum:    s.LatencySum,
 		LatencyMax:    s.LatencyMax,
@@ -297,6 +306,7 @@ func (s Stats) CompactJSON(maxPerElement int) ([]byte, error) {
 		Delivered:     s.Delivered,
 		Dropped:       s.Dropped,
 		Blocked:       s.Blocked,
+		PlanMisses:    s.PlanMisses,
 		DeliveredBits: s.DeliveredBits,
 		LatencySum:    s.LatencySum,
 		LatencyMax:    s.LatencyMax,
@@ -340,6 +350,9 @@ func (s Stats) Describe() string {
 	if s.Dropped > 0 || s.Blocked > 0 {
 		fmt.Fprintf(&b, "faults: %d dropped in flight, %d blocked at injection\n",
 			s.Dropped, s.Blocked)
+	}
+	if s.PlanMisses > 0 {
+		fmt.Fprintf(&b, "routing: %d plans resolved through the lazy compile cache\n", s.PlanMisses)
 	}
 	if s.Delivered > 0 {
 		fmt.Fprintf(&b, "latency: avg %.2f, min %d, max %d cycles\n",

@@ -81,7 +81,7 @@ func TestCompiledTableMatchesTableRoutes(t *testing.T) {
 					if i+1 < len(want) {
 						wantVC = vc.VCForHop(want, i)
 					}
-					if vcs[i] != wantVC {
+					if int(vcs[i]) != wantVC {
 						t.Fatalf("%s: %d->%d hop %d VC %d != %d", name, src, dst, i, vcs[i], wantVC)
 					}
 					ri, _ := frz.IndexOf(want[i])

@@ -1,0 +1,119 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPairSetBasics pins the demand-set contract: self-pairs and
+// out-of-range indices are silently dropped, membership and counting
+// agree, and Sorted enumerates in (src, dst) order.
+func TestPairSetBasics(t *testing.T) {
+	p := NewPairSet(4)
+	if p.N() != 4 || p.All() || p.Len() != 0 {
+		t.Fatalf("fresh set: n=%d all=%v len=%d", p.N(), p.All(), p.Len())
+	}
+	p.Add(2, 1)
+	p.Add(0, 3)
+	p.Add(0, 3) // duplicate
+	p.Add(1, 1) // self
+	p.Add(-1, 2)
+	p.Add(2, 4) // out of range
+	if p.Len() != 2 {
+		t.Fatalf("len %d after two distinct adds", p.Len())
+	}
+	if !p.Contains(2, 1) || !p.Contains(0, 3) {
+		t.Fatal("added pairs missing")
+	}
+	if p.Contains(1, 2) || p.Contains(1, 1) || p.Contains(2, 4) {
+		t.Fatal("phantom membership")
+	}
+	want := [][2]int32{{0, 3}, {2, 1}}
+	got := p.Sorted()
+	if len(got) != len(want) {
+		t.Fatalf("sorted %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted %v want %v", got, want)
+		}
+	}
+}
+
+// TestPairSetAllPairs pins the symbolic all-pairs state: O(1) storage,
+// n·(n-1) cardinality, full membership, nil NodePairs (the
+// AssignVirtualChannels "every ordered pair" convention).
+func TestPairSetAllPairs(t *testing.T) {
+	p := AllPairs(3)
+	if !p.All() || p.Len() != 6 {
+		t.Fatalf("all-pairs over 3: all=%v len=%d", p.All(), p.Len())
+	}
+	for s := 0; s < 3; s++ {
+		for d := 0; d < 3; d++ {
+			if p.Contains(s, d) != (s != d) {
+				t.Fatalf("contains(%d,%d) = %v", s, d, p.Contains(s, d))
+			}
+		}
+	}
+	if got := p.Sorted(); len(got) != 6 {
+		t.Fatalf("sorted all-pairs has %d entries", len(got))
+	}
+	if p.NodePairs([]graph.NodeID{1, 2, 3}) != nil {
+		t.Fatal("all-pairs NodePairs should be nil")
+	}
+
+	q := NewPairSet(3)
+	q.Add(0, 1)
+	q.AddAll()
+	if !q.All() || !q.Contains(2, 0) {
+		t.Fatal("AddAll did not collapse to the symbolic state")
+	}
+}
+
+// TestPairSetUnion pins AddUnion semantics including the all-pairs
+// absorbing state and the node-count mismatch error.
+func TestPairSetUnion(t *testing.T) {
+	p := NewPairSet(4)
+	p.Add(0, 1)
+	q := NewPairSet(4)
+	q.Add(1, 2)
+	q.Add(0, 1)
+	if err := p.AddUnion(q); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || !p.Contains(1, 2) {
+		t.Fatalf("union len %d", p.Len())
+	}
+	if err := p.AddUnion(nil); err != nil {
+		t.Fatal("nil union should be a no-op")
+	}
+	if err := p.AddUnion(NewPairSet(5)); err == nil {
+		t.Fatal("mismatched node counts unioned")
+	}
+	if err := p.AddUnion(AllPairs(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !p.All() {
+		t.Fatal("union with all-pairs should absorb")
+	}
+}
+
+// TestPairSetNodePairs checks the index→id translation preserves the
+// sorted pair order.
+func TestPairSetNodePairs(t *testing.T) {
+	p := NewPairSet(3)
+	p.Add(2, 0)
+	p.Add(0, 2)
+	ids := []graph.NodeID{10, 20, 30}
+	got := p.NodePairs(ids)
+	want := [][2]graph.NodeID{{10, 30}, {30, 10}}
+	if len(got) != len(want) {
+		t.Fatalf("node pairs %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node pairs %v want %v", got, want)
+		}
+	}
+}

@@ -36,6 +36,17 @@ func (e *UnreachableError) Error() string {
 // Is makes errors.Is(err, ErrNoRoute) succeed for UnreachableError.
 func (e *UnreachableError) Is(target error) bool { return target == ErrNoRoute }
 
+// Router is any deterministic route source: given an ordered node pair
+// it yields the full vertex path. The map-backed Table satisfies it, as
+// do the demand-driven sources (SparseRouter, RouteSet) that never
+// materialize an O(n²) table. Implementations must be safe for
+// concurrent Route calls and must return the same path for the same
+// pair every time — compilation, VC assignment and the lazy plan cache
+// all assume route determinism.
+type Router interface {
+	Route(src, dst graph.NodeID) ([]graph.NodeID, error)
+}
+
 // Table is a deterministic distributed routing table: for every node, the
 // next hop toward every destination. Table[n][d] is undefined for n == d.
 type Table map[graph.NodeID]map[graph.NodeID]graph.NodeID
@@ -320,7 +331,7 @@ type Channel struct {
 //
 // Channels are encoded as graph vertices via a dense index; the returned
 // index maps channel -> vertex id.
-func ChannelDependencyGraph(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (*graph.Graph, map[Channel]graph.NodeID, error) {
+func ChannelDependencyGraph(t Router, arch *topology.Architecture, pairs [][2]graph.NodeID) (*graph.Graph, map[Channel]graph.NodeID, error) {
 	if pairs == nil {
 		nodes := arch.Nodes()
 		for _, s := range nodes {
@@ -361,7 +372,7 @@ func ChannelDependencyGraph(t Table, arch *topology.Architecture, pairs [][2]gra
 
 // DeadlockFree reports whether the routes over the given traffic pairs
 // (nil = all pairs) are deadlock-free on a single virtual channel.
-func DeadlockFree(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (bool, error) {
+func DeadlockFree(t Router, arch *topology.Architecture, pairs [][2]graph.NodeID) (bool, error) {
 	cdg, _, err := ChannelDependencyGraph(t, arch, pairs)
 	if err != nil {
 		return false, err
@@ -407,7 +418,14 @@ func (a VCAssignment) VCForHop(route []graph.NodeID, hop int) int {
 // order, so each VC's dependency graph is acyclic and the whole network is
 // deadlock-free (Dally & Seitz dateline argument). NumVCs is 1 + the
 // maximum number of descents on any route.
-func AssignVirtualChannels(t Table, arch *topology.Architecture, pairs [][2]graph.NodeID) (VCAssignment, error) {
+//
+// The dateline order is defined over every directed channel of the
+// architecture, not only the channels the given pairs traverse; the
+// lexicographic order of a superset preserves the relative order of any
+// subset, so restricting the pairs never changes the assignment of the
+// routes they cover — and routes compiled lazily later (pairs outside a
+// sparse demand set) still receive meaningful labels.
+func AssignVirtualChannels(t Router, arch *topology.Architecture, pairs [][2]graph.NodeID) (VCAssignment, error) {
 	if pairs == nil {
 		nodes := arch.Nodes()
 		for _, s := range nodes {
@@ -420,6 +438,10 @@ func AssignVirtualChannels(t Table, arch *topology.Architecture, pairs [][2]grap
 	}
 	// Canonical total order: sort channels lexicographically.
 	chanSet := make(map[Channel]struct{})
+	for _, l := range arch.Links() {
+		chanSet[Channel{From: l.A, To: l.B}] = struct{}{}
+		chanSet[Channel{From: l.B, To: l.A}] = struct{}{}
+	}
 	routes := make([][]graph.NodeID, 0, len(pairs))
 	for _, pr := range pairs {
 		path, err := t.Route(pr[0], pr[1])

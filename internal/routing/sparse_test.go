@@ -1,0 +1,303 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ringArch builds an n-node ring (ids 1..n, unit link lengths).
+func ringArch(t *testing.T, n int) *topology.Architecture {
+	t.Helper()
+	arch := topology.New(fmt.Sprintf("ring%d", n), graph.Range(1, graph.NodeID(n)), nil)
+	for i := 1; i <= n; i++ {
+		j := i%n + 1
+		if err := arch.AddLink(graph.NodeID(i), graph.NodeID(j), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return arch
+}
+
+// TestSparseRouterMatchesShortestPaths checks every pair of a mesh: the
+// sparse route has the same hop count as the dense table's shortest
+// path and every hop traverses a real link.
+func TestSparseRouterMatchesShortestPaths(t *testing.T) {
+	arch, err := topology.Mesh(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Build(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewSparseRouter(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := arch.Nodes()
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			got, err := router.Route(s, d)
+			if err != nil {
+				t.Fatalf("%d->%d: %v", s, d, err)
+			}
+			want, err := table.Route(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%d->%d: sparse route %v is not shortest (table %v)", s, d, got, want)
+			}
+			if got[0] != s || got[len(got)-1] != d {
+				t.Fatalf("%d->%d: bad endpoints %v", s, d, got)
+			}
+			for i := 0; i+1 < len(got); i++ {
+				if !arch.HasLink(got[i], got[i+1]) {
+					t.Fatalf("%d->%d: hop %d-%d is not a link", s, d, got[i], got[i+1])
+				}
+			}
+		}
+	}
+}
+
+// TestSparseRouterTreeCacheBound drives more distinct sources than the
+// tree cache holds and checks the FIFO bound sticks while routes stay
+// correct.
+func TestSparseRouterTreeCacheBound(t *testing.T) {
+	n := sparseTreeCacheBound + 44
+	arch := ringArch(t, n)
+	router, err := NewSparseRouter(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := graph.NodeID(1)
+	for s := 2; s <= n; s++ {
+		route, err := router.Route(graph.NodeID(s), dst)
+		if err != nil {
+			t.Fatalf("%d->%d: %v", s, dst, err)
+		}
+		// On a ring the shortest path length is min(cw, ccw) hops.
+		cw := n - s + 1
+		ccw := s - 1
+		want := min(cw, ccw) + 1
+		if len(route) != want {
+			t.Fatalf("%d->%d: route has %d nodes, want %d", s, dst, len(route), want)
+		}
+	}
+	if got := router.TreeCount(); got > sparseTreeCacheBound {
+		t.Fatalf("tree cache holds %d trees, bound %d", got, sparseTreeCacheBound)
+	}
+}
+
+// TestNewSparseRouterRejects pins the constructor's refusals: nil,
+// preferred-route architectures (sparse routing would silently ignore
+// the schedule's choices) and disconnected ones.
+func TestNewSparseRouterRejects(t *testing.T) {
+	if _, err := NewSparseRouter(nil); err == nil {
+		t.Fatal("nil architecture accepted")
+	}
+
+	pref, err := topology.Mesh(2, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pref.SetPreferredRoute([]graph.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSparseRouter(pref); err == nil {
+		t.Fatal("preferred-route architecture accepted")
+	}
+
+	disc := topology.New("disc", []graph.NodeID{1, 2, 3}, nil)
+	if err := disc.AddLink(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSparseRouter(disc); err == nil {
+		t.Fatal("disconnected architecture accepted")
+	}
+}
+
+// TestPrecomputeMatchesRoute: forward-oriented demand (more distinct
+// destinations than sources is false here — every node sends to a few
+// spread-out targets, so sources dominate and the forward orientation
+// is chosen); every precomputed route must equal the router's on-demand
+// answer hop for hop, at any parallelism.
+func TestPrecomputeMatchesRoute(t *testing.T) {
+	arch, err := topology.Mesh(6, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewSparseRouter(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(arch.Nodes())
+	demand := NewPairSet(n)
+	// Deterministic scatter: an LCG over pair space.
+	x := int64(12345)
+	for i := 0; i < 200; i++ {
+		x = (x*6364136223846793005 + 1442695040888963407) & 0x7fffffffffffffff
+		s := int(x % int64(n))
+		x = (x*6364136223846793005 + 1442695040888963407) & 0x7fffffffffffffff
+		d := int(x % int64(n))
+		demand.Add(s, d)
+	}
+	if demand.Len() == 0 {
+		t.Fatal("empty scatter demand")
+	}
+
+	var reference *RouteSet
+	for _, par := range []int{1, 4} {
+		rs, err := router.Precompute(demand, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != demand.Len() {
+			t.Fatalf("parallelism %d: %d routes for %d demanded pairs", par, rs.Len(), demand.Len())
+		}
+		ids := router.Frozen().IDs()
+		for _, pr := range demand.Sorted() {
+			src, dst := ids[pr[0]], ids[pr[1]]
+			got, err := rs.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := router.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("parallelism %d: %d->%d route %v != %v", par, src, dst, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("parallelism %d: %d->%d route %v != %v", par, src, dst, got, want)
+				}
+			}
+		}
+		if reference == nil {
+			reference = rs
+		}
+	}
+}
+
+// TestPrecomputeReverseOrientation: hotspot-shaped demand (every source,
+// two hubs) flips Precompute into destination-rooted trees — two
+// Dijkstras instead of 36. The reversed paths must still be shortest,
+// valid, correctly oriented and deterministic across parallelism.
+func TestPrecomputeReverseOrientation(t *testing.T) {
+	arch, err := topology.Mesh(6, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewSparseRouter(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Build(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(arch.Nodes())
+	hubs := []int{0, 21}
+	demand := NewPairSet(n)
+	for s := 0; s < n; s++ {
+		for _, h := range hubs {
+			demand.Add(s, h)
+		}
+	}
+
+	var first map[string][]graph.NodeID
+	ids := router.Frozen().IDs()
+	for _, par := range []int{1, 3} {
+		rs, err := router.Precompute(demand, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != demand.Len() {
+			t.Fatalf("%d routes for %d demanded pairs", rs.Len(), demand.Len())
+		}
+		got := make(map[string][]graph.NodeID, rs.Len())
+		for _, pr := range demand.Sorted() {
+			src, dst := ids[pr[0]], ids[pr[1]]
+			route, err := rs.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if route[0] != src || route[len(route)-1] != dst {
+				t.Fatalf("%d->%d: reversed path has wrong orientation: %v", src, dst, route)
+			}
+			for i := 0; i+1 < len(route); i++ {
+				if !arch.HasLink(route[i], route[i+1]) {
+					t.Fatalf("%d->%d: hop %d-%d is not a link", src, dst, route[i], route[i+1])
+				}
+			}
+			want, err := table.Route(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(route) != len(want) {
+				t.Fatalf("%d->%d: reverse-tree route %v is not shortest (table %v)", src, dst, route, want)
+			}
+			got[fmt.Sprintf("%d-%d", src, dst)] = route
+		}
+		if first == nil {
+			first = got
+			continue
+		}
+		for k, route := range got {
+			ref := first[k]
+			if len(ref) != len(route) {
+				t.Fatalf("pair %s differs across parallelism: %v vs %v", k, ref, route)
+			}
+			for i := range route {
+				if ref[i] != route[i] {
+					t.Fatalf("pair %s differs across parallelism: %v vs %v", k, ref, route)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecomputeRejects pins the input contract: nil and all-pairs
+// demand, and a node-count mismatch.
+func TestPrecomputeRejects(t *testing.T) {
+	arch, err := topology.Mesh(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := NewSparseRouter(arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.Precompute(nil, 0); err == nil {
+		t.Fatal("nil demand accepted")
+	}
+	if _, err := router.Precompute(AllPairs(9), 0); err == nil {
+		t.Fatal("all-pairs demand accepted")
+	}
+	if _, err := router.Precompute(NewPairSet(4), 0); err == nil {
+		t.Fatal("mismatched node count accepted")
+	}
+	rs, err := router.Precompute(NewPairSet(9), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatalf("empty demand produced %d routes", rs.Len())
+	}
+	// Fallback: a pair outside the (empty) precomputed set still routes.
+	route, err := rs.Route(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != 1 || route[len(route)-1] != 9 {
+		t.Fatalf("fallback route %v", route)
+	}
+}

@@ -55,6 +55,9 @@ type (
 	RoutingTable = routing.Table
 	// VCAssignment is a deadlock-free virtual channel assignment.
 	VCAssignment = routing.VCAssignment
+	// PairSet is a demand set of ordered (src, dst) pairs for
+	// demand-driven route compilation (see CompiledRoutingPairs).
+	PairSet = routing.PairSet
 	// Network is the cycle-level NoC simulator.
 	Network = noc.Network
 	// NetworkConfig sets simulator microarchitecture parameters.
@@ -161,6 +164,27 @@ type Options struct {
 // errors.Is to tell "this ε is too tight" from a hard error.
 var ErrInfeasible = errors.New("no feasible decomposition")
 
+// InfeasibleError is the typed form of ErrInfeasible carrying the
+// search statistics of the infeasibility proof. Proving a constraint
+// set empty costs real branch-and-bound work (the frontier sweep's
+// dominated-ε points are exactly such proofs), and before this type
+// that effort was invisible: Synthesize returned a bare wrapped
+// sentinel and grid points reported NodesExplored: 0. It matches
+// ErrInfeasible via errors.Is; retrieve it with errors.As.
+type InfeasibleError struct {
+	// Stats is the full search accounting of the failed solve — nodes
+	// explored, constraint failures, timeout/cancellation flags.
+	Stats core.Stats
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("repro: %v (timed out: %v, canceled: %v, constraint failures: %d)",
+		ErrInfeasible, e.Stats.TimedOut, e.Stats.Canceled, e.Stats.ConstraintFails)
+}
+
+// Unwrap makes errors.Is(err, ErrInfeasible) hold.
+func (e *InfeasibleError) Unwrap() error { return ErrInfeasible }
+
 // Result is the full synthesis output: the decomposition, the glued
 // customized architecture, its routing table and the deadlock-free VC
 // assignment, plus search statistics.
@@ -187,6 +211,21 @@ func (r *Result) CompiledRouting() (*routing.CompiledTable, error) {
 		r.compiled, r.compiledErr = routing.CompileTable(r.Routing, r.Architecture, r.VCs)
 	})
 	return r.compiled, r.compiledErr
+}
+
+// CompiledRoutingPairs compiles only the demanded pairs of the result's
+// routing table — the sparse form for workloads (a permutation, a
+// hotspot pattern) that draw a small subset of the n² pairs. Plans for
+// demanded pairs are byte-identical to CompiledRouting's (same table,
+// same VC assignment); pairs outside the demand resolve through the
+// table's lazy compile cache at simulation time. A nil or all-pairs
+// demand returns the shared dense table. Unlike CompiledRouting, sparse
+// results are not memoized: each demand set is its own table.
+func (r *Result) CompiledRoutingPairs(pairs *routing.PairSet) (*routing.CompiledTable, error) {
+	if pairs == nil || pairs.All() {
+		return r.CompiledRouting()
+	}
+	return routing.CompileTablePairs(r.Routing, r.Architecture, r.VCs, pairs)
 }
 
 // Synthesize runs the complete pipeline of the paper on an application
@@ -239,8 +278,7 @@ func SynthesizeContext(ctx context.Context, acg *Graph, opts Options) (*Result, 
 		return nil, err
 	}
 	if res.Best == nil {
-		return nil, fmt.Errorf("repro: %w (timed out: %v, canceled: %v, constraint failures: %d)",
-			ErrInfeasible, res.Stats.TimedOut, res.Stats.Canceled, res.Stats.ConstraintFails)
+		return nil, &InfeasibleError{Stats: res.Stats}
 	}
 	arch, err := topology.FromDecomposition(acg.Name()+"-custom", acg, res.Best, opts.Placement)
 	if err != nil {
@@ -273,6 +311,17 @@ func (r *Result) NewNetwork(cfg NetworkConfig) (*Network, error) {
 	return noc.NewCompiled(cfg, r.Architecture, ct)
 }
 
+// NewNetworkPairs is NewNetwork over a demand-compiled sparse table
+// (see CompiledRoutingPairs): the simulator for a workload that only
+// draws the given pairs, at a fraction of the dense table's memory.
+func (r *Result) NewNetworkPairs(cfg NetworkConfig, pairs *routing.PairSet) (*Network, error) {
+	ct, err := r.CompiledRoutingPairs(pairs)
+	if err != nil {
+		return nil, err
+	}
+	return noc.NewCompiled(cfg, r.Architecture, ct)
+}
+
 // MeshNetwork builds a rows x cols mesh baseline with XY routing and a
 // simulator over it — the comparison architecture of Section 5.2.
 func MeshNetwork(rows, cols int, placement *Placement, cfg NetworkConfig) (*Network, *Architecture, error) {
@@ -292,6 +341,16 @@ func MeshNetwork(rows, cols int, placement *Placement, cfg NetworkConfig) (*Netw
 // factory producing cold simulators that all share them: the shape
 // noc.Sweep's per-worker networks and repeated benchmark runs want.
 func MeshNetworkFactory(rows, cols int, placement *Placement, cfg NetworkConfig) (func() (*Network, error), *Architecture, error) {
+	return MeshNetworkFactoryPairs(rows, cols, placement, cfg, nil)
+}
+
+// MeshNetworkFactoryPairs is MeshNetworkFactory with a demand set: a
+// non-nil, non-all pairs set compiles the XY table sparsely for exactly
+// those pairs (identical plans, lazy fallback for the rest), which is
+// what the sweep and batch drivers thread through for permutation and
+// hotspot patterns on large meshes. nil keeps the dense all-pairs
+// compile.
+func MeshNetworkFactoryPairs(rows, cols int, placement *Placement, cfg NetworkConfig, pairs *routing.PairSet) (func() (*Network, error), *Architecture, error) {
 	arch, err := topology.Mesh(rows, cols, placement)
 	if err != nil {
 		return nil, nil, err
@@ -304,7 +363,7 @@ func MeshNetworkFactory(rows, cols int, placement *Placement, cfg NetworkConfig)
 	if err != nil {
 		return nil, nil, err
 	}
-	ct, err := routing.CompileTable(table, arch, vcs)
+	ct, err := routing.CompileTablePairs(table, arch, vcs, pairs)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -26,13 +26,15 @@ raw=$(go test -run '^$' \
     -bench 'BenchmarkSolverParallelism|BenchmarkVF2GossipInAES|BenchmarkFig6_AESDecomposition|BenchmarkTableAES_Mesh|BenchmarkSweepUniformMesh|BenchmarkFrontierAES' \
     -benchmem -benchtime "$benchtime" -count "$count" .)
 
-# Simulator-kernel trajectory (PR 5 + the PR 7 SoA/batch engine): idle-
-# cycle cost at 16 and 1000 routers, the allocation-free compiled-route
-# injection path, a warm Reset rate point, and a pooled 1k-router batch
-# sweep point. These run at a fixed longer benchtime — the per-op cost
-# of the short ones is nanoseconds, so 5 iterations would measure noise.
+# Simulator-kernel trajectory (PR 5 + the PR 7 SoA/batch engine + the
+# PR 9 sparse compile): idle-cycle cost at 16 and 1000 routers, the
+# allocation-free compiled-route injection path, a warm Reset rate
+# point, a pooled 1k-router batch sweep point, and the 10k-router
+# demand-driven routing compile. These run at a fixed longer benchtime —
+# the per-op cost of the short ones is nanoseconds, so 5 iterations
+# would measure noise.
 raw_kernel=$(go test -run '^$' \
-    -bench 'BenchmarkStepIdle|BenchmarkInjectRouted|BenchmarkSweepReset|BenchmarkSweepBA1k' \
+    -bench 'BenchmarkStepIdle|BenchmarkInjectRouted|BenchmarkSweepReset|BenchmarkSweepBA1k|BenchmarkCompileSparseBA10k' \
     -benchmem -benchtime 1s -count "$count" .)
 
 # Service-path trajectory: the cold (cache-miss, real solve) and hot

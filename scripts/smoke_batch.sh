@@ -53,6 +53,39 @@ fi
 grep -q '"stats"' "$work/local1.json" || {
     echo "smoke_batch: includeStats point carried no stats" >&2; exit 1; }
 
+echo "== 10k-router sparse-table batch =="
+# Demand-driven compilation at the scale the dense layout cannot reach:
+# a 10,000-router scale-free topology would need an O(n^2) all-pairs
+# table (~12 GB of spans alone), so the batch planner compiles only the
+# union of the points' declared demand. The permutation point exercises
+# the forward (source-tree) orientation, the hotspot point the reverse
+# (hub-tree) one plus the lazy compile cache for its uniform escape
+# traffic; -memstats reports the live heap the gate bounds below 1 GB.
+cat > "$work/request10k.json" <<'EOF'
+{
+  "archs": [
+    {"name": "scalefree10k", "ba": "10000:2:5"}
+  ],
+  "points": [
+    {"arch": 0, "pattern": "transpose", "bits": 128, "rate": 0.02, "warmupCycles": 50, "measureCycles": 150, "seed": 9},
+    {"arch": 0, "pattern": "hotspot:0:0.9", "bits": 128, "rate": 0.005, "warmupCycles": 50, "measureCycles": 150, "seed": 10, "includeStats": true}
+  ]
+}
+EOF
+"$work/nocsim" -simbatch "$work/request10k.json" -parallel 2 -memstats \
+    -out "$work/local10k.json" 2> "$work/local10k.err"
+cat "$work/local10k.err" >&2
+grep -q '"delivered": 0,' "$work/local10k.json" && {
+    echo "smoke_batch: a 10k-router point delivered nothing" >&2; exit 1; }
+grep -q '"planMisses"' "$work/local10k.json" || {
+    echo "smoke_batch: hotspot escape traffic produced no lazy plan misses" >&2; exit 1; }
+heap=$(sed -n 's/^nocsim: heap after batch: .* \([0-9][0-9]*\) bytes from the OS.*$/\1/p' "$work/local10k.err")
+[ -n "$heap" ] || { echo "smoke_batch: -memstats printed no heap figure" >&2; exit 1; }
+if [ "$heap" -ge 1073741824 ]; then
+    echo "smoke_batch: 10k-router batch claimed $heap bytes from the OS (>= 1 GB)" >&2
+    exit 1
+fi
+
 echo "== start daemon =="
 "$work/nocserve" -addr "127.0.0.1:${port}" -cache-dir "$work/cache" \
     -drain-timeout 60s >"$work/nocserve.log" 2>&1 &
