@@ -482,6 +482,131 @@ func BenchmarkCompileSparseBA10k(b *testing.B) {
 	b.ReportMetric(float64(ct.PairCount()), "pairs")
 }
 
+// busy1k holds the 1k-router network for the partitioned-step
+// benchmark at the smaller scale: the shared ba1k dense table on a
+// deep-buffered configuration (see busy10k for why).
+var busy1k struct {
+	once  sync.Once
+	net   *noc.Network
+	trace []noc.TrafficEvent
+	err   error
+}
+
+func busy1kFixture(b *testing.B) (*noc.Network, []noc.TrafficEvent) {
+	b.Helper()
+	arch, table := ba1kFixture(b)
+	busy1k.once.Do(func() {
+		cfg := DefaultNetworkConfig()
+		cfg.NumVCs = table.NumVCs()
+		cfg.BufferFlits = 16
+		net, err := noc.NewCompiled(cfg, arch, table)
+		if err != nil {
+			busy1k.err = err
+			return
+		}
+		net.SetPacketRecycling(true)
+		busy1k.net = net
+		busy1k.trace = noc.UniformRandomTrace(net.Nodes(), 100, 128, 0.02, 11)
+	})
+	if busy1k.err != nil {
+		b.Fatal(busy1k.err)
+	}
+	return busy1k.net, busy1k.trace
+}
+
+// BenchmarkStepBusy1k is BenchmarkStepBusy10k at 1000 routers: the
+// partition-count sweep where per-cycle work is ~10x smaller, so the
+// fixed per-cycle barrier cost weighs ~10x more. See BenchmarkStepBusy10k.
+func BenchmarkStepBusy1k(b *testing.B) {
+	net, trace := busy1kFixture(b)
+	benchStepBusy(b, net, trace)
+}
+
+// busy10k holds the 10k-router network used by the partitioned-step
+// benchmark: the ba10k topology under a landmark table (the only route
+// source that serves uniform traffic at this scale) with buffers deeper
+// than the router pipeline, so partitioned runs stay in the exact
+// serial-equivalence regime.
+var busy10k struct {
+	once  sync.Once
+	net   *noc.Network
+	trace []noc.TrafficEvent
+	err   error
+}
+
+func busy10kFixture(b *testing.B) (*noc.Network, []noc.TrafficEvent) {
+	b.Helper()
+	arch := ba10kFixture(b)
+	busy10k.once.Do(func() {
+		lm, err := routing.NewLandmarkRouter(arch, routing.DefaultLandmarks)
+		if err != nil {
+			busy10k.err = err
+			return
+		}
+		table, err := routing.CompileTablePairs(lm, arch, lm.VCAssignment(), routing.NewPairSet(len(arch.Nodes())))
+		if err != nil {
+			busy10k.err = err
+			return
+		}
+		cfg := DefaultNetworkConfig()
+		cfg.NumVCs = table.NumVCs()
+		cfg.BufferFlits = 16
+		net, err := noc.NewCompiled(cfg, arch, table)
+		if err != nil {
+			busy10k.err = err
+			return
+		}
+		net.SetPacketRecycling(true)
+		busy10k.net = net
+		busy10k.trace = noc.UniformRandomTrace(net.Nodes(), 100, 128, 0.01, 11)
+	})
+	if busy10k.err != nil {
+		b.Fatal(busy10k.err)
+	}
+	return busy10k.net, busy10k.trace
+}
+
+// BenchmarkStepBusy10k times one busy 100-cycle uniform window (plus
+// drain) on the 10k-router scale-free network at kernel partition
+// counts 1, 2, 4 and 8 — the readout for the partitioned parallel
+// kernel. On a multi-core host the p4/p8 rows should beat p1; on a
+// single-core host they measure the pure partitioning overhead
+// (boundary staging + per-cycle goroutine barrier). The boundary-stalls
+// metric is the exactness certificate for the last iteration: zero
+// means the partitioned run was byte-equivalent to serial.
+func BenchmarkStepBusy10k(b *testing.B) {
+	net, trace := busy10kFixture(b)
+	benchStepBusy(b, net, trace)
+}
+
+func benchStepBusy(b *testing.B, net *noc.Network, trace []noc.TrafficEvent) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			net.Reset()
+			if err := net.SetPartitions(p); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Reset()
+				if err := net.Replay(trace, 100_000); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(net.BoundaryCreditStalls()), "boundary-stalls")
+			if net.Stats().Delivered == 0 {
+				b.Fatal("no traffic delivered")
+			}
+		})
+	}
+	net.Reset()
+	if err := net.SetPartitions(1); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkAblationBounding quantifies the Figure 3 lower-bound pruning:
 // the same AES instance with and without the bound.
 func BenchmarkAblationBounding(b *testing.B) {

@@ -42,6 +42,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -78,7 +79,10 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "seed choosing which links fail per -faultrates step")
 
 	simBatch := flag.String("simbatch", "", "batch mode: run a bulk-simulate request file (noc.SimRequest JSON, the /v1/simulate body) locally, emit the canonical SimResponse JSON")
-	memStats := flag.Bool("memstats", false, "batch mode: report the live heap after the run on stderr (the CI gate for sparse-table memory)")
+	memStats := flag.Bool("memstats", false, "report the live heap after the run on stderr in batch and sweep modes (the CI gate for sparse-table memory)")
+	partitions := flag.Int("partitions", 0, "kernel partition count per simulated network (0/1 = serial); in -simbatch mode overrides every point's partitions field")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	sweep := flag.Bool("sweep", false, "run a saturation sweep across an injection-rate ladder, emit JSON")
 	rates := flag.String("rates", "", "sweep: explicit comma-separated rate ladder (overrides -ratemin/-ratemax/-ratesteps)")
 	rateMin := flag.Float64("ratemin", 0.01, "sweep: lowest rate of the generated ladder")
@@ -102,8 +106,30 @@ func main() {
 		cancel()
 	}()
 
+	// Profiling wraps every mode; the deferred writers run on all normal
+	// exits (check's os.Exit error path skips them, by design).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			check(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			check(err)
+			runtime.GC()
+			check(pprof.WriteHeapProfile(f))
+			check(f.Close())
+		}()
+	}
+
 	if *simBatch != "" {
-		runSimBatch(ctx, *simBatch, *parallel, *out, *memStats)
+		runSimBatch(ctx, *simBatch, *parallel, *partitions, *out, *memStats)
 		return
 	}
 
@@ -209,6 +235,7 @@ func main() {
 			Parallelism:   *parallel,
 			Faults:        fm,
 			Routing:       mode,
+			Partitions:    *partitions,
 		}
 		if *faultRates != "" {
 			runReliability(ctx, arch, newNet, scfg, *faultRates, *faultSeed, *out)
@@ -237,10 +264,16 @@ func main() {
 		} else {
 			fmt.Fprintf(os.Stderr, "nocsim: %s did not saturate within the ladder\n", res.Pattern)
 		}
+		if *memStats {
+			reportMemStats("sweep")
+		}
 		return
 	}
 
 	check(net.SetRouting(mode))
+	if *partitions > 1 {
+		check(net.SetPartitions(*partitions))
+	}
 	if fm != nil {
 		check(net.ResetWithFaults(fm))
 	}
@@ -309,27 +342,22 @@ func main() {
 // engine — the same noc.RunSim call the /v1/simulate endpoint makes, so
 // the emitted bytes cmp-equal the service's response for the same
 // request at any -parallel setting.
-func runSimBatch(ctx context.Context, path string, parallel int, out string, memStats bool) {
+func runSimBatch(ctx context.Context, path string, parallel, partitions int, out string, memStats bool) {
 	data, err := os.ReadFile(path)
 	check(err)
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	var req noc.SimRequest
 	check(dec.Decode(&req))
+	if partitions > 0 {
+		for i := range req.Points {
+			req.Points[i].Partitions = partitions
+		}
+	}
 	res, err := noc.RunSim(ctx, &req, parallel)
 	check(err)
 	if memStats {
-		// Two figures: the post-GC live heap (what survives the run) and
-		// Sys, the high-water mark of memory claimed from the OS — the
-		// resident-footprint number the 10k-router smoke gates below
-		// 1 GB. A dense all-pairs table at that scale would have pushed
-		// Sys past 12 GB before the first cycle.
-		runtime.GC()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		fmt.Fprintf(os.Stderr, "nocsim: heap after batch: %d bytes live (%.1f MB), %d bytes from the OS (%.1f MB)\n",
-			ms.HeapAlloc, float64(ms.HeapAlloc)/(1<<20),
-			ms.Sys, float64(ms.Sys)/(1<<20))
+		reportMemStats("batch")
 	}
 	sink := os.Stdout
 	if out != "-" && out != "" {
@@ -408,6 +436,20 @@ func rateLadder(spec string, min, max float64, steps int) ([]float64, error) {
 		out[i] = min + (max-min)*float64(i)/float64(steps-1)
 	}
 	return out, nil
+}
+
+// reportMemStats prints two figures on stderr: the post-GC live heap
+// (what survives the run) and Sys, the high-water mark of memory
+// claimed from the OS — the resident-footprint number the 10k-router
+// smoke gates below 1 GB. A dense all-pairs table at that scale would
+// have pushed Sys past 12 GB before the first cycle.
+func reportMemStats(phase string) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(os.Stderr, "nocsim: heap after %s: %d bytes live (%.1f MB), %d bytes from the OS (%.1f MB)\n",
+		phase, ms.HeapAlloc, float64(ms.HeapAlloc)/(1<<20),
+		ms.Sys, float64(ms.Sys)/(1<<20))
 }
 
 func check(err error) {

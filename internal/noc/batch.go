@@ -137,6 +137,12 @@ type BatchPoint struct {
 	Faults *FaultMap
 	// Routing selects the route-resolution mode (default oblivious).
 	Routing RoutingMode
+	// Partitions is the point's kernel partition count (0 or 1 =
+	// serial). Like SweepConfig.Partitions it divides the worker budget
+	// and, unlike Parallelism, is part of the simulated machine: a
+	// partitioned kernel returns boundary credits at the cycle barrier,
+	// so results at different counts may differ (deterministically).
+	Partitions int
 }
 
 // Batch runs many simulation points through the shared point fleet.
@@ -192,6 +198,9 @@ func (b *Batch) Run(ctx context.Context) ([]RatePoint, error) {
 			return nil, fmt.Errorf("noc: batch point %d windows warmup=%d measure=%d",
 				i, pt.WarmupCycles, pt.MeasureCycles)
 		}
+		if pt.Partitions < 0 {
+			return nil, fmt.Errorf("noc: batch point %d partition count %d", i, pt.Partitions)
+		}
 		batches := pt.Batches
 		if batches <= 0 {
 			batches = 10
@@ -212,6 +221,7 @@ func (b *Batch) Run(ctx context.Context) ([]RatePoint, error) {
 			satThreshold: thresh,
 			faults:       pt.Faults,
 			routing:      pt.Routing,
+			partitions:   pt.Partitions,
 		}
 	}
 	pool := b.Pool
@@ -415,6 +425,12 @@ type SimPoint struct {
 	Seed int64 `json:"seed"`
 	// Routing is "oblivious" (default) or "adaptive".
 	Routing string `json:"routing,omitempty"`
+	// Partitions is the point's kernel partition count (0 or 1 =
+	// serial). It is part of the request — and so of the content
+	// address — because a partitioned kernel is a different simulated
+	// machine, not a runtime knob: results at different counts may
+	// differ (deterministically for each fixed count).
+	Partitions int `json:"partitions,omitempty"`
 	// IncludeStats attaches the point's measurement-window Stats to the
 	// result, size-aware: per-element maps above the compact threshold
 	// aggregate to min/mean/max (see Stats.CompactJSON).
@@ -487,6 +503,9 @@ func BuildBatch(req *SimRequest) (*Batch, error) {
 		if err := demand[sp.Arch].AddUnion(pat.Pairs()); err != nil {
 			return nil, fmt.Errorf("noc: sim point %d: %w", i, err)
 		}
+		if sp.Partitions < 0 {
+			return nil, fmt.Errorf("noc: sim point %d partition count %d", i, sp.Partitions)
+		}
 		b.Points[i] = BatchPoint{
 			Arch:          sp.Arch,
 			Pattern:       pat,
@@ -497,6 +516,7 @@ func BuildBatch(req *SimRequest) (*Batch, error) {
 			Batches:       sp.Batches,
 			Seed:          sp.Seed,
 			Routing:       mode,
+			Partitions:    sp.Partitions,
 		}
 	}
 	for i := range b.Archs {
@@ -513,11 +533,12 @@ func BuildBatch(req *SimRequest) (*Batch, error) {
 // a batch. Up to maxDenseSimNodes it is the classic dense pipeline
 // (Build, all-pairs AssignVirtualChannels, CompileTable) regardless of
 // demand — cheap, miss-free and byte-identical to every fixture ever
-// recorded. Above that, the demand union must be sparse (uniform
-// points are rejected: their all-pairs demand is exactly the 12 GB
-// table this path exists to avoid), routes come from per-root
-// shortest-path trees, and pairs outside the demand resolve at
-// simulation time through the table's bounded lazy compile cache.
+// recorded. Above that, a declared sparse demand compiles exactly its
+// pairs from per-root shortest-path trees, while all-pairs (uniform)
+// demand — whose dense table would be the ~12 GB this path exists to
+// avoid — routes through landmark trees instead: O(L·n) state, every
+// plan resolved at simulation time through the table's bounded lazy
+// compile cache (visible as Stats.PlanMisses).
 func compileBatchTable(arch *topology.Architecture, demand *routing.PairSet) (*routing.CompiledTable, error) {
 	n := len(arch.Nodes())
 	if n <= maxDenseSimNodes {
@@ -539,7 +560,15 @@ func compileBatchTable(arch *topology.Architecture, demand *routing.PairSet) (*r
 		demand = routing.NewPairSet(n)
 	}
 	if demand.All() {
-		return nil, fmt.Errorf("all-pairs (uniform) demand on %d nodes would need a dense O(n²) table; dense compilation is limited to %d nodes", n, maxDenseSimNodes)
+		lm, err := routing.NewLandmarkRouter(arch, routing.DefaultLandmarks)
+		if err != nil {
+			return nil, fmt.Errorf("routing: %w", err)
+		}
+		ct, err := routing.CompileTablePairs(lm, arch, lm.VCAssignment(), routing.NewPairSet(n))
+		if err != nil {
+			return nil, fmt.Errorf("compile: %w", err)
+		}
+		return ct, nil
 	}
 	router, err := routing.NewSparseRouter(arch)
 	if err != nil {

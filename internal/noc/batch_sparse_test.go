@@ -104,21 +104,123 @@ func TestBuildBatchSparseLargeArch(t *testing.T) {
 	}
 }
 
-// TestBuildBatchRejectsUniformLarge: all-pairs demand above the dense
-// threshold is a refusal, not a 12 GB allocation.
-func TestBuildBatchRejectsUniformLarge(t *testing.T) {
+// TestBuildBatchUniformLargeViaLandmarks: all-pairs (uniform) demand
+// above the dense threshold — once a refusal — now compiles the
+// landmark route source: an empty sparse table (every plan resolves
+// lazily), the landmark VC budget, O(L·n) memory instead of a ~12 GB
+// dense layout, and a simulation that completes with every delivery
+// counted as a lazy plan miss.
+func TestBuildBatchUniformLargeViaLandmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2116-router batch in -short mode")
+	}
 	req := &SimRequest{
 		Archs: []SimArch{{Mesh: "46x46"}},
 		Points: []SimPoint{{
-			Arch: 0, Pattern: "uniform", Bits: 128, Rate: 0.02,
+			Arch: 0, Pattern: "uniform", Bits: 128, Rate: 0.005,
 			WarmupCycles: 20, MeasureCycles: 60, Seed: 1,
+			IncludeStats: true,
 		}},
 	}
-	_, err := BuildBatch(req)
-	if err == nil {
-		t.Fatal("uniform demand on 2116 nodes compiled")
+	b, err := BuildBatch(req)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if !strings.Contains(err.Error(), "all-pairs") {
-		t.Fatalf("unexpected error: %v", err)
+	ct := b.Archs[0].Table
+	if ct.AllPairs() || ct.PairCount() != 0 {
+		t.Fatalf("uniform-at-scale table: allPairs=%v pairs=%d, want empty sparse", ct.AllPairs(), ct.PairCount())
+	}
+	if ct.NumVCs() != 4 {
+		t.Fatalf("landmark table has %d VCs, want %d trees", ct.NumVCs(), 4)
+	}
+	if fp := ct.MemoryFootprint(); fp > 8<<20 {
+		t.Fatalf("landmark table footprint %d bytes", fp)
+	}
+
+	res, err := RunSim(context.Background(), req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[0].Delivered == 0 {
+		t.Fatal("uniform point delivered nothing")
+	}
+	var stats struct {
+		PlanMisses int64 `json:"planMisses"`
+	}
+	if err := json.Unmarshal(res.Points[0].Stats, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PlanMisses == 0 {
+		t.Fatal("uniform landmark traffic produced no lazy plan misses")
+	}
+
+	// Determinism: the same request produces the same bytes again.
+	res2, err := RunSim(context.Background(), req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 strings.Builder
+	if err := res.EncodeJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.EncodeJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("uniform landmark batch not deterministic across parallelism")
+	}
+}
+
+// TestBatchPointPartitions: the wire partitions field reaches the
+// kernel — a partitioned point equals its serial twin at a light load
+// with deep buffers (the exact-equivalence regime), a negative count is
+// rejected, and the field participates in the canonical encoding.
+func TestBatchPointPartitions(t *testing.T) {
+	mk := func(parts int) *SimRequest {
+		return &SimRequest{
+			Archs:  []SimArch{{Mesh: "6x6"}},
+			Config: &SimConfig{BufferFlits: 16},
+			Points: []SimPoint{{
+				Arch: 0, Pattern: "transpose", Bits: 64, Rate: 0.02,
+				WarmupCycles: 30, MeasureCycles: 100, Seed: 9,
+				IncludeStats: true, Partitions: parts,
+			}},
+		}
+	}
+	serial, err := RunSim(context.Background(), mk(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted, err := RunSim(context.Background(), mk(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1, s2 strings.Builder
+	if err := serial.EncodeJSON(&s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := parted.EncodeJSON(&s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatalf("partitioned point diverges from serial at light load:\n%s\nvs\n%s", s1.String(), s2.String())
+	}
+
+	bad := mk(0)
+	bad.Points[0].Partitions = -1
+	if _, err := BuildBatch(bad); err == nil || !strings.Contains(err.Error(), "partition") {
+		t.Fatalf("negative partitions accepted: %v", err)
+	}
+
+	c1, err := mk(0).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := mk(4).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) == string(c2) {
+		t.Fatal("partitions field does not split the canonical encoding")
 	}
 }

@@ -1,0 +1,471 @@
+package noc
+
+// Partitioned parallel execution of a single network. SetPartitions(P)
+// splits the routers into P contiguous index ranges over the existing
+// struct-of-arrays port state; every Step then advances each partition
+// on its own worker goroutine and synchronizes exactly once, at the end
+// of the cycle. Between barriers a worker touches only state its
+// partition owns — its routers' rings, head mirrors, want counters,
+// wormhole locks, its own outputs' credits, its slice of the timing
+// wheel and its private worklists — so the cycle body runs without
+// locks or atomics. The two cross-partition effects a cycle can
+// produce, link sends landing at a remote router and credits returning
+// to a remote upstream output, are staged into per-(source, dest)
+// partition rows owned by the writing worker and merged at the barrier
+// in ascending source-partition order, mirroring the kernel's existing
+// worklist-determinism contract: results are bit-deterministic for a
+// fixed P.
+//
+// Equivalence to the serial kernel. The serial Step has exactly one
+// same-cycle cross-router dependency: switch allocation walks routers
+// in ascending index order, so a credit returned by router A is visible
+// to its upstream router B *within the same cycle* when index(A) <
+// index(B). Everything else is already cycle-delayed — a flit sent this
+// cycle lands wheelDelay >= 1 cycles later, and arrival order within a
+// wheel bucket is behaviorally irrelevant (at most one arrival per
+// input port per cycle, so bucket entries touch distinct lanes and
+// their push effects commute; the active worklist is sorted before
+// use). Partitions are contiguous ascending ranges, so:
+//
+//   - a credit crossing to a *lower* partition is exactly serial when
+//     merged at the barrier — in the serial order the upstream router
+//     had already arbitrated, so the credit took effect next cycle
+//     anyway;
+//   - a credit crossing to a *higher* partition arrives one
+//     arbitration too late. This diverges from the serial schedule only
+//     if the upstream output skipped a candidate because that lane's
+//     counter read zero, and during the owning partition's cycle the
+//     counter of such a lane can only decrease (its sole incrementer is
+//     the remote downstream router), so a barrier-time zero check — the
+//     boundaryStalls counter — catches every possible divergence, with
+//     false positives but no false negatives. A run finishing with
+//     BoundaryCreditStalls() == 0 is certified stats-identical to the
+//     serial kernel; under saturating load the partitioned schedule
+//     remains a valid, deterministic credit-conserving execution in
+//     which boundary credits take one extra cycle.
+//
+// Tail ejections are staged per partition and folded at the barrier in
+// ascending partition order, which — partitions being ascending router
+// ranges walked in ascending order — reproduces the serial delivery
+// order exactly: latency series, arena-slot reuse (freeSlots LIFO) and
+// OnEject invocation order all match the serial kernel.
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// SetPartitions splits the network into p contiguous router-range
+// partitions advanced concurrently by Step, or restores the serial
+// kernel for p <= 1. The network must be idle (no pending packets):
+// partitioning is a per-run execution mode, set after Reset and before
+// traffic, and it is sticky across Reset like the routing mode. p is
+// clamped to the router count. Ranges are balanced by port count, the
+// quantity per-cycle work tracks.
+func (n *Network) SetPartitions(p int) error {
+	if n.pending != 0 {
+		return fmt.Errorf("noc: SetPartitions with %d packets in flight (partitioning requires an idle network)", n.pending)
+	}
+	R := n.frz.NodeCount()
+	if p > R {
+		p = R
+	}
+	if p <= 1 {
+		n.teardownPartitions()
+		return nil
+	}
+	n.nParts = p
+	n.boundaryStalls = 0
+
+	// Contiguous ranges balanced by cumulative port count; every
+	// partition keeps at least one router.
+	total := int64(n.portOff[R])
+	n.partLo = make([]int32, p+1)
+	lo := 0
+	for k := 0; k < p; k++ {
+		n.partLo[k] = int32(lo)
+		target := (int64(k+1) * total) / int64(p)
+		hi := lo + 1
+		maxHi := R - (p - 1 - k)
+		for hi < maxHi && int64(n.portOff[hi]) < target {
+			hi++
+		}
+		lo = hi
+	}
+	n.partLo[p] = int32(R)
+
+	n.partOf = make([]int32, R)
+	n.portPart = make([]int32, n.portOff[R])
+	for k := 0; k < p; k++ {
+		for i := n.partLo[k]; i < n.partLo[k+1]; i++ {
+			n.partOf[i] = int32(k)
+			for g := n.portOff[i]; g < n.portOff[i+1]; g++ {
+				n.portPart[g] = int32(k)
+			}
+		}
+	}
+
+	n.wheelP = make([][][]arrival, p)
+	for k := range n.wheelP {
+		n.wheelP[k] = make([][]arrival, len(n.wheel))
+	}
+	n.activeP = make([][]int32, p)
+	n.srcActiveP = make([][]int32, p)
+	n.candP = make([][]int32, p)
+	for k := range n.candP {
+		n.candP[k] = make([]int32, 0, cap(n.candScratch))
+	}
+	n.stagedArr = make([][]arrival, p*p)
+	n.stagedCred = make([][]int32, p*p)
+	n.stagedEj = make([][]int32, p)
+	return nil
+}
+
+// teardownPartitions restores the serial kernel. The network is idle
+// (checked by SetPartitions), so every partition structure is empty.
+func (n *Network) teardownPartitions() {
+	n.nParts = 0
+	n.partLo, n.partOf, n.portPart = nil, nil, nil
+	n.wheelP, n.activeP, n.srcActiveP, n.candP = nil, nil, nil, nil
+	n.stagedArr, n.stagedCred, n.stagedEj = nil, nil, nil
+	n.boundaryStalls = 0
+}
+
+// Partitions returns the current partition count (1 = serial kernel).
+func (n *Network) Partitions() int {
+	if n.nParts > 1 {
+		return n.nParts
+	}
+	return 1
+}
+
+// BoundaryCreditStalls returns how many barrier-merged credits returned
+// to a higher partition found their lane counter at zero — the
+// conservative divergence detector of the partitioned schedule. Zero
+// certifies the run's results are identical to the serial kernel's.
+// Always zero in serial mode. Reset by Reset.
+func (n *Network) BoundaryCreditStalls() int64 { return n.boundaryStalls }
+
+// resetPartitions clears the per-partition run state (Reset keeps the
+// partitioning itself, like the routing mode).
+func (n *Network) resetPartitions() {
+	for k := range n.wheelP {
+		for b := range n.wheelP[k] {
+			clear(n.wheelP[k][b])
+			n.wheelP[k][b] = n.wheelP[k][b][:0]
+		}
+	}
+	for k := range n.activeP {
+		for _, i := range n.activeP[k] {
+			n.activeMark[i] = false
+		}
+		n.activeP[k] = n.activeP[k][:0]
+	}
+	for k := range n.srcActiveP {
+		for _, i := range n.srcActiveP[k] {
+			n.srcMark[i] = false
+		}
+		n.srcActiveP[k] = n.srcActiveP[k][:0]
+	}
+	for k := range n.stagedArr {
+		n.stagedArr[k] = n.stagedArr[k][:0]
+		n.stagedCred[k] = n.stagedCred[k][:0]
+	}
+	for k := range n.stagedEj {
+		n.stagedEj[k] = n.stagedEj[k][:0]
+	}
+	n.boundaryStalls = 0
+}
+
+// wheelSets returns every timing-wheel the network currently owns — the
+// single serial wheel, or one per partition — for consumers that must
+// see all in-flight flits (fault purges, state audits).
+func (n *Network) wheelSets() [][][]arrival {
+	if n.nParts > 1 {
+		return n.wheelP
+	}
+	return [][][]arrival{n.wheel}
+}
+
+// activeLists returns every active-router worklist for rebuild-style
+// consumers (fault purges).
+func (n *Network) activeLists() []*[]int32 {
+	if n.nParts > 1 {
+		out := make([]*[]int32, n.nParts)
+		for k := range n.activeP {
+			out[k] = &n.activeP[k]
+		}
+		return out
+	}
+	return []*[]int32{&n.active}
+}
+
+// srcActiveLists returns every active-source worklist.
+func (n *Network) srcActiveLists() []*[]int32 {
+	if n.nParts > 1 {
+		out := make([]*[]int32, n.nParts)
+		for k := range n.srcActiveP {
+			out[k] = &n.srcActiveP[k]
+		}
+		return out
+	}
+	return []*[]int32{&n.srcActive}
+}
+
+// stepParallel is Step for nParts > 1: faults strike on the barrier
+// thread (all staging rows are empty between cycles), then one worker
+// per partition runs the full deliver→inject→allocate sequence over its
+// own range, and the barrier merges the staged cross-partition effects.
+func (n *Network) stepParallel() {
+	n.cycle++
+	if n.faultIdx < len(n.faultQueue) && n.faultQueue[n.faultIdx].Cycle <= n.cycle {
+		n.fireFaults()
+	}
+	P := n.nParts
+	var wg sync.WaitGroup
+	wg.Add(P - 1)
+	for p := 1; p < P; p++ {
+		go func(p int) {
+			defer wg.Done()
+			n.runPartition(p)
+		}(p)
+	}
+	n.runPartition(0)
+	wg.Wait()
+	n.mergeBoundary()
+}
+
+// runPartition advances one partition through a full cycle. No phase
+// barriers are needed between deliver, inject and allocate: each phase
+// touches only partition-owned mutable state, and cross-partition
+// effects go through the staging rows this worker owns.
+func (n *Network) runPartition(p int) {
+	n.deliverArrivalsPart(p)
+	n.injectFromNIsPart(p)
+	n.switchAllocationPart(p)
+}
+
+// deliverArrivalsPart is deliverArrivals over the partition's private
+// wheel. Remote sends were merged into it at an earlier barrier, so
+// every arrival lands at a router this partition owns.
+func (n *Network) deliverArrivalsPart(p int) {
+	wheel := n.wheelP[p]
+	slot := n.cycle % int64(len(wheel))
+	bucket := wheel[slot]
+	for i := range bucket {
+		a := &bucket[i]
+		n.pushFlit(a.to, a.port, a.f)
+		*a = arrival{} // release the packet reference
+	}
+	wheel[slot] = bucket[:0]
+}
+
+// injectFromNIsPart is injectFromNIs over the partition's source
+// worklist. Keep in sync with the serial version.
+func (n *Network) injectFromNIsPart(p int) {
+	V := int32(n.cfg.NumVCs)
+	keep := n.srcActiveP[p][:0]
+	for _, i := range n.srcActiveP[p] {
+		q := &n.srcQueue[i]
+		if q.n == 0 {
+			n.srcMark[i] = false
+			continue
+		}
+		keep = append(keep, i)
+		pk := q.peek()
+		gi := n.localPort(i)
+		vc := int32(pk.vcs[0])
+		if int(n.ringN[gi*V+vc]) >= n.cfg.BufferFlits {
+			continue
+		}
+		isTail := pk.injected == pk.flits-1
+		n.pushFlit(i, gi, flitAt(pk, 0, pk.injected == 0, isTail))
+		pk.injected++
+		if isTail {
+			q.pop()
+		}
+	}
+	n.srcActiveP[p] = keep
+}
+
+// switchAllocationPart is switchAllocation over the partition's active
+// worklist: ascending router order within the range, so in-partition
+// credit returns are visible to higher routers the same cycle, exactly
+// as in the serial kernel. Keep in sync with the serial version.
+func (n *Network) switchAllocationPart(p int) {
+	act := n.activeP[p]
+	if len(act) == 0 {
+		return
+	}
+	slices.Sort(act)
+	for _, idx := range act {
+		base := n.portOff[idx]
+		for _, slot := range n.portOrder[base:n.portOff[idx+1]] {
+			if n.wantCnt[base+slot] > 0 {
+				n.arbitratePart(p, idx, slot)
+			}
+		}
+	}
+	keep := act[:0]
+	for _, idx := range act {
+		if n.bufFlits[idx] > 0 {
+			keep = append(keep, idx)
+		} else {
+			n.activeMark[idx] = false
+		}
+	}
+	n.activeP[p] = keep
+}
+
+// arbitratePart is arbitrate with partition-private candidate scratch
+// and the staging moveFlit. Keep in sync with the serial version.
+func (n *Network) arbitratePart(p int, i, outSlot int32) {
+	base := n.portOff[i]
+	g := base + outSlot
+	V := int32(n.cfg.NumVCs)
+	want := int16(outSlot)
+	local := n.outLocal[g]
+	if lk := n.outLocked[g]; lk >= 0 {
+		// Wormhole fast path (see arbitrate).
+		slot, vc := lk/V, lk%V
+		lane := (base+slot)*V + vc
+		if n.headWant[lane] != want {
+			return
+		}
+		if !local && n.credits[g*V+int32(n.headNextVC[lane])] <= 0 {
+			return
+		}
+		n.outRR[g]++
+		n.moveFlitPart(p, i, g, slot, vc)
+		return
+	}
+	cands := n.candP[p][:0]
+	for _, slot := range n.portOrder[base:n.portOff[i+1]] {
+		laneBase := (base + slot) * V
+		for vc := int32(0); vc < V; vc++ {
+			if n.headWant[laneBase+vc] != want {
+				continue
+			}
+			if !local && n.credits[g*V+int32(n.headNextVC[laneBase+vc])] <= 0 {
+				continue
+			}
+			cands = append(cands, slot*V+vc)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	key := cands[n.outRR[g]%len(cands)]
+	n.outRR[g]++
+	n.moveFlitPart(p, i, g, key/V, key%V)
+}
+
+// moveFlitPart is moveFlit with cross-partition effects staged: credits
+// to a remote upstream output, link sends landing at a remote router,
+// and tail ejections (whose packet finalization — arena release, stats,
+// OnEject — is shared state) all defer to the barrier. Keep in sync
+// with the serial version.
+func (n *Network) moveFlitPart(p int, i, g, selSlot, selVC int32) {
+	V := int32(n.cfg.NumVCs)
+	P := n.nParts
+	gi := n.portOff[i] + selSlot
+	f := n.popFlit(i, gi, selVC)
+
+	if f.isHead {
+		n.outLocked[g] = selSlot*V + selVC
+		n.outLockedPkt[g] = f.pktIdx
+	}
+	if f.isTail {
+		n.outLocked[g] = -1
+		n.outLockedPkt[g] = 0
+	}
+
+	// Credit return to upstream: direct within the partition (the
+	// ascending walk preserves same-cycle visibility), staged across.
+	if up := n.peer[gi]; up >= 0 {
+		lane := up*V + selVC
+		if q := int(n.portPart[up]); q == p {
+			n.credits[lane]++
+		} else {
+			n.stagedCred[p*P+q] = append(n.stagedCred[p*P+q], lane)
+		}
+	}
+
+	n.swTrav[i]++
+
+	if n.outLocal[g] {
+		if f.isTail {
+			// The packet's last flit: nothing else references it this
+			// cycle, so deferring the arena release and delivery
+			// accounting to the barrier fold is safe.
+			n.stagedEj[p] = append(n.stagedEj[p], f.pktIdx)
+		}
+		return
+	}
+
+	n.credits[g*V+int32(f.nextVC)]--
+	n.linkTrav[n.outEdge[g]]++
+	to := n.outTo[g]
+	a := arrival{
+		to:   to,
+		port: n.peer[g],
+		f:    flitAt(n.pktSlots[f.pktIdx], f.hop+1, f.isHead, f.isTail),
+	}
+	if q := int(n.partOf[to]); q == p {
+		wheel := n.wheelP[p]
+		slot := (n.cycle + n.wheelDelay) % int64(len(wheel))
+		wheel[slot] = append(wheel[slot], a)
+	} else {
+		n.stagedArr[p*P+q] = append(n.stagedArr[p*P+q], a)
+	}
+}
+
+// mergeBoundary applies the cycle's staged cross-partition effects on
+// the barrier thread, in ascending source-partition order (fixed-P
+// determinism). Wheel-bucket merge order is behaviorally irrelevant
+// (distinct lanes, commutative counters, sorted worklists); credit
+// merge order is irrelevant too (each lane has exactly one source
+// partition); the ejection fold order reproduces the serial delivery
+// order, so OnEject callbacks — including ones that inject, consuming
+// just-freed arena slots — observe exactly the serial sequence.
+func (n *Network) mergeBoundary() {
+	P := n.nParts
+	slot := (n.cycle + n.wheelDelay) % int64(len(n.wheel))
+	for p := 0; p < P; p++ {
+		for q := 0; q < P; q++ {
+			row := p*P + q
+			if arr := n.stagedArr[row]; len(arr) > 0 {
+				n.wheelP[q][slot] = append(n.wheelP[q][slot], arr...)
+				clear(arr)
+				n.stagedArr[row] = arr[:0]
+			}
+			if creds := n.stagedCred[row]; len(creds) > 0 {
+				for _, lane := range creds {
+					if q > p && n.credits[lane] == 0 {
+						n.boundaryStalls++
+					}
+					n.credits[lane]++
+				}
+				n.stagedCred[row] = creds[:0]
+			}
+		}
+	}
+	for p := 0; p < P; p++ {
+		for _, idx := range n.stagedEj[p] {
+			pk := n.pktSlots[idx]
+			n.pktSlots[idx] = nil
+			n.freeSlots = append(n.freeSlots, idx)
+			pk.EjectCycle = n.cycle
+			n.pending--
+			n.stats.recordDelivery(pk)
+			if n.onEject != nil {
+				n.onEject(pk)
+			}
+			if n.recycle {
+				n.freePacket(pk)
+			}
+		}
+		n.stagedEj[p] = n.stagedEj[p][:0]
+	}
+}

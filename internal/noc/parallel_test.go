@@ -1,0 +1,256 @@
+package noc
+
+// Equivalence and invariant coverage for the partitioned kernel
+// (parallel.go): simulated Stats at P ∈ {2, 4, 8} must equal the serial
+// kernel's on every topology family, runs at a fixed P must be
+// deterministic, and the full state audit must hold at every cycle
+// barrier — including with scheduled faults striking links that cross
+// partition boundaries, the paths where staged boundary traffic and the
+// purge machinery interact.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/randgraph"
+	"repro/internal/topology"
+)
+
+// partitionFamilies returns the topology families of the partition
+// equivalence matrix: the evaluation mesh, a scale-free hub graph, and
+// a chord-augmented ring (the family mix of the sparse-table suite).
+func partitionFamilies(t testing.TB) []faultFamily {
+	t.Helper()
+	mesh, err := topology.Mesh(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := randgraph.BarabasiAlbert(24, 2, 8, 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := topology.New("chordring", graph.Range(1, 12), nil)
+	for i := 1; i <= 12; i++ {
+		if err := ring.AddLink(graph.NodeID(i), graph.NodeID(i%12+1), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, chord := range [][2]graph.NodeID{{1, 7}, {3, 9}, {5, 11}} {
+		if err := ring.AddLink(chord[0], chord[1], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return []faultFamily{
+		{"mesh4x4", mesh},
+		{"scalefree", archFromGraph(t, ba)},
+		{"chordring", ring},
+	}
+}
+
+// driveTrace replays the trace and drains the network, with a bounded-
+// progress limit.
+func driveTrace(t *testing.T, n *Network, trace Trace, limit int64) {
+	t.Helper()
+	i := 0
+	for i < len(trace) || n.Pending() > 0 {
+		for i < len(trace) && trace[i].Cycle <= n.Cycle() {
+			ev := trace[i]
+			if _, err := n.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil && !errors.Is(err, ErrRouteFaulted) {
+				t.Fatalf("inject event %d: %v", i, err)
+			}
+			i++
+		}
+		n.Step()
+		if n.Cycle() > limit {
+			t.Fatalf("bounded progress violated: %d pending at cycle %d", n.Pending(), n.Cycle())
+		}
+	}
+}
+
+// TestPartitionEquivalenceStats: the partitioned kernel at P ∈ {2, 4, 8}
+// must produce Stats equal to the serial kernel's, per family, with the
+// boundary-credit stall detector confirming the runs stayed in the
+// exact-equivalence regime.
+func TestPartitionEquivalenceStats(t *testing.T) {
+	for _, fam := range partitionFamilies(t) {
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.NumVCs = 2
+			// Buffers deeper than the pipeline keep credits off zero so the
+			// runs stay in the exact-equivalence regime (see parallel.go):
+			// with BufferFlits=4 and wheelDelay=3 even an uncontended
+			// wormhole stream pins its lane at zero credits.
+			cfg.BufferFlits = 16
+			n := netOver(t, fam.arch, cfg)
+			trace := UniformRandomTrace(n.Nodes(), 300, 128, 0.03, 17)
+			driveTrace(t, n, trace, 100_000)
+			want := n.Stats()
+			wantJSON, err := want.MarshalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, parts := range []int{2, 4, 8} {
+				t.Run(fmt.Sprintf("p=%d", parts), func(t *testing.T) {
+					n.Reset()
+					if err := n.SetPartitions(parts); err != nil {
+						t.Fatal(err)
+					}
+					driveTrace(t, n, trace, 100_000)
+					if stalls := n.BoundaryCreditStalls(); stalls != 0 {
+						t.Errorf("p=%d: %d boundary credit stalls (exact-equivalence regime violated)", parts, stalls)
+					}
+					got := n.Stats()
+					if !reflect.DeepEqual(got, want) {
+						gotJSON, _ := got.MarshalJSON()
+						t.Fatalf("p=%d stats diverge from serial:\nserial: %s\np=%d:    %s", parts, wantJSON, parts, gotJSON)
+					}
+					// Restore the serial kernel for the next iteration.
+					n.Reset()
+					if err := n.SetPartitions(1); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPartitionDeterminism: two runs at the same fixed P are
+// byte-identical (staged boundary merges happen in a fixed order).
+func TestPartitionDeterminism(t *testing.T) {
+	mesh, err := topology.Mesh(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.NumVCs = 2
+	n := netOver(t, mesh, cfg)
+	trace := UniformRandomTrace(n.Nodes(), 200, 256, 0.15, 3)
+	var blobs [][]byte
+	for run := 0; run < 2; run++ {
+		n.Reset()
+		if err := n.SetPartitions(4); err != nil {
+			t.Fatal(err)
+		}
+		driveTrace(t, n, trace, 100_000)
+		st := n.Stats()
+		b, err := st.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("two P=4 runs differ:\n%s\n%s", blobs[0], blobs[1])
+	}
+}
+
+// boundaryLinks returns architecture links whose endpoints live in
+// different partitions of the given network.
+func boundaryLinks(n *Network) [][2]graph.NodeID {
+	var out [][2]graph.NodeID
+	for _, l := range n.arch.Links() {
+		k := l.Key()
+		ai, _ := n.frz.IndexOf(k[0])
+		bi, _ := n.frz.IndexOf(k[1])
+		if n.partOf[ai] != n.partOf[bi] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestPartitionBoundaryFaultAudit runs the full kernel state audit at
+// every cycle barrier of a partitioned network while scheduled faults
+// strike links crossing partition boundaries — the interaction of the
+// purge machinery with per-partition wheels, worklists and staged
+// traffic.
+func TestPartitionBoundaryFaultAudit(t *testing.T) {
+	for _, fam := range partitionFamilies(t) {
+		t.Run(fam.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.NumVCs = 2
+			n := netOver(t, fam.arch, cfg)
+			if err := n.SetPartitions(4); err != nil {
+				t.Fatal(err)
+			}
+			bl := boundaryLinks(n)
+			if len(bl) == 0 {
+				t.Fatalf("partitioning left no boundary links on %s", fam.name)
+			}
+			fm := NewFaultMap()
+			fm.AddLink(bl[0][0], bl[0][1], 40)
+			if len(bl) > 1 {
+				fm.AddLink(bl[len(bl)-1][0], bl[len(bl)-1][1], 70)
+			}
+			if err := n.ResetWithFaults(fm); err != nil {
+				t.Fatal(err)
+			}
+			if n.Partitions() != 4 {
+				t.Fatalf("ResetWithFaults dropped partitioning: %d", n.Partitions())
+			}
+			trace := UniformRandomTrace(n.Nodes(), 150, 256, 0.12, 23)
+			i := 0
+			for i < len(trace) || n.Pending() > 0 {
+				for i < len(trace) && trace[i].Cycle <= n.Cycle() {
+					ev := trace[i]
+					if _, err := n.Inject(ev.Src, ev.Dst, ev.Bits, ev.Tag); err != nil && !errors.Is(err, ErrRouteFaulted) {
+						t.Fatalf("inject event %d: %v", i, err)
+					}
+					i++
+				}
+				n.Step()
+				auditNetwork(t, n, fmt.Sprintf("cycle %d", n.Cycle()))
+				if n.Cycle() > 100_000 {
+					t.Fatalf("no drain: %d pending", n.Pending())
+				}
+			}
+			st := n.Stats()
+			if st.Injected != st.Delivered+st.Dropped {
+				t.Fatalf("conservation: injected %d != delivered %d + dropped %d",
+					st.Injected, st.Delivered, st.Dropped)
+			}
+		})
+	}
+}
+
+// TestSetPartitionsContract pins the mode-switch rules: busy networks
+// refuse, counts clamp to the router count, Reset keeps the mode, and
+// P=1 restores the serial kernel.
+func TestSetPartitionsContract(t *testing.T) {
+	mesh, err := topology.Mesh(4, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netOver(t, mesh, DefaultConfig())
+	if err := n.SetPartitions(64); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Partitions(); got != 16 {
+		t.Fatalf("Partitions() = %d after clamping 64 on 16 routers", got)
+	}
+	nodes := n.Nodes()
+	if _, err := n.Inject(nodes[0], nodes[5], 64, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPartitions(2); err == nil {
+		t.Fatal("SetPartitions succeeded with a packet in flight")
+	}
+	n.Reset()
+	if got := n.Partitions(); got != 16 {
+		t.Fatalf("Reset dropped partitioning: %d", got)
+	}
+	if err := n.SetPartitions(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Partitions(); got != 1 {
+		t.Fatalf("Partitions() = %d after restoring serial mode", got)
+	}
+	if n.BoundaryCreditStalls() != 0 {
+		t.Fatal("serial kernel reports boundary stalls")
+	}
+}

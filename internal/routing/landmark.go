@@ -1,0 +1,217 @@
+package routing
+
+// Landmark (hierarchical) routing: a constant number of shortest-path
+// trees rooted at the best-connected nodes replace the all-pairs table.
+// A route ascends from the source to the meet point (lowest common
+// ancestor) of the pair in the best tree and descends to the
+// destination, so the route source costs O(L·n) memory instead of the
+// O(n²) a table needs — the shape that makes uniform (all-pairs)
+// traffic on 10k-router architectures simulable: route resolution is
+// two parent-pointer walks, never a graph search.
+//
+// Deadlock freedom comes from the tree structure rather than dateline
+// escalation: a packet occupies virtual channel t — the index of the
+// tree its route was built in — for its whole route. Within one VC all
+// traffic moves root-ward and then leaf-ward in a single tree, so every
+// channel dependency either ascends (child→parent then parent→
+// grandparent), turns exactly once at the meet point, or descends;
+// a cycle would need a descend→ascend dependency, which never occurs.
+// Each VC's channel dependency graph is therefore acyclic and the
+// network is deadlock-free with NumVCs = L (Dally & Seitz).
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// DefaultLandmarks is the landmark-tree count used when a caller has no
+// reason to choose: enough root diversity to keep uniform-traffic
+// stretch low on scale-free and mesh topologies, small enough that the
+// VC budget (one per tree) stays a hardware-plausible 4.
+const DefaultLandmarks = 4
+
+// LandmarkRouter is an immutable route source over L landmark-rooted
+// shortest-path trees. It satisfies Router; all state is fixed at
+// construction, so concurrent Route calls are safe.
+type LandmarkRouter struct {
+	frz       *graph.Frozen
+	ids       []graph.NodeID
+	landmarks []int32   // dense indices of the tree roots, selection order
+	parent    [][]int32 // [tree][node]: parent dense index, -1 at the root
+	depth     [][]int32 // [tree][node]: hop depth below the root
+}
+
+// NewLandmarkRouter builds count landmark trees over the architecture.
+// Landmarks are the count highest-degree nodes (ties broken toward the
+// lower dense index), the roots most traffic already funnels through on
+// scale-free topologies; each tree is the length-weighted shortest-path
+// tree of its root with the deterministic tie-breaks of the frozen
+// Dijkstra, so the router is a pure function of the architecture. A
+// disconnected architecture is rejected up front — every node must
+// reach every root.
+func NewLandmarkRouter(arch *topology.Architecture, count int) (*LandmarkRouter, error) {
+	if arch == nil {
+		return nil, fmt.Errorf("routing: nil architecture")
+	}
+	if !arch.Connected() {
+		return nil, fmt.Errorf("routing: architecture %q is disconnected: %w", arch.Name, ErrNoRoute)
+	}
+	frz := arch.Graph().Freeze()
+	n := frz.NodeCount()
+	if count < 1 {
+		count = 1
+	}
+	if count > n {
+		count = n
+	}
+	if count > maxCompiledVCs {
+		return nil, fmt.Errorf("routing: %d landmark trees exceed the %d virtual channel limit", count, maxCompiledVCs)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := frz.OutDegree(int(order[a])), frz.OutDegree(int(order[b]))
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	r := &LandmarkRouter{
+		frz:       frz,
+		ids:       frz.IDs(),
+		landmarks: order[:count:count],
+		parent:    make([][]int32, count),
+		depth:     make([][]int32, count),
+	}
+	w := lengthWeights(arch, frz)
+	for t, root := range r.landmarks {
+		_, prev := frz.ShortestPathTree(int(root), w)
+		parent := make([]int32, n)
+		copy(parent, prev)
+		depth := make([]int32, n)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[root] = 0
+		var stack []int32
+		for i := 0; i < n; i++ {
+			if depth[i] >= 0 {
+				continue
+			}
+			stack = stack[:0]
+			j := int32(i)
+			for depth[j] < 0 {
+				if parent[j] < 0 {
+					return nil, fmt.Errorf("routing: node %d unreachable from landmark %d: %w",
+						r.ids[j], r.ids[root], ErrNoRoute)
+				}
+				stack = append(stack, j)
+				j = parent[j]
+			}
+			d := depth[j]
+			for k := len(stack) - 1; k >= 0; k-- {
+				d++
+				depth[stack[k]] = d
+			}
+		}
+		r.parent[t] = parent
+		r.depth[t] = depth
+	}
+	return r, nil
+}
+
+// Landmarks returns the tree roots in tree order.
+func (r *LandmarkRouter) Landmarks() []graph.NodeID {
+	out := make([]graph.NodeID, len(r.landmarks))
+	for t, root := range r.landmarks {
+		out[t] = r.ids[root]
+	}
+	return out
+}
+
+// Trees returns the landmark-tree count (= the VC budget).
+func (r *LandmarkRouter) Trees() int { return len(r.landmarks) }
+
+// meet returns the lowest common ancestor of dense nodes a and b in
+// tree t and the hop length of the a→lca→b tree path.
+func (r *LandmarkRouter) meet(t int, a, b int32) (lca, hops int32) {
+	depth, parent := r.depth[t], r.parent[t]
+	total := depth[a] + depth[b]
+	for depth[a] > depth[b] {
+		a = parent[a]
+	}
+	for depth[b] > depth[a] {
+		b = parent[b]
+	}
+	for a != b {
+		a = parent[a]
+		b = parent[b]
+	}
+	return a, total - 2*depth[a]
+}
+
+// bestTree returns the tree giving the shortest tree path for the pair
+// (ties broken toward the lowest tree index), with its meet point and
+// hop count. Route and the VC assignment both call this, so the VC a
+// packet is assigned always matches the tree its route came from.
+func (r *LandmarkRouter) bestTree(a, b int32) (t int, lca, hops int32) {
+	t = 0
+	lca, hops = r.meet(0, a, b)
+	for k := 1; k < len(r.parent); k++ {
+		if l, h := r.meet(k, a, b); h < hops {
+			t, lca, hops = k, l, h
+		}
+	}
+	return t, lca, hops
+}
+
+// Route returns the src→meet→dst path in the pair's best tree.
+func (r *LandmarkRouter) Route(src, dst graph.NodeID) ([]graph.NodeID, error) {
+	si, sok := r.frz.IndexOf(src)
+	di, dok := r.frz.IndexOf(dst)
+	if !sok || !dok {
+		return nil, &UnreachableError{Src: src, Dst: dst}
+	}
+	if si == di {
+		return []graph.NodeID{src}, nil
+	}
+	t, lca, hops := r.bestTree(int32(si), int32(di))
+	parent := r.parent[t]
+	path := make([]graph.NodeID, 0, hops+1)
+	for j := int32(si); j != lca; j = parent[j] {
+		path = append(path, r.ids[j])
+	}
+	path = append(path, r.ids[lca])
+	mark := len(path)
+	for j := int32(di); j != lca; j = parent[j] {
+		path = append(path, r.ids[j])
+	}
+	for a, b := mark, len(path)-1; a < b; a, b = a+1, b-1 {
+		path[a], path[b] = path[b], path[a]
+	}
+	return path, nil
+}
+
+// VCAssignment returns the tree-index VC scheme: every hop of a route
+// rides the VC of the tree the route was built in (see the package
+// comment for the deadlock-freedom argument). The assignment re-derives
+// the best tree from the route's endpoints, the same argmin Route used,
+// so it is consistent for any route this router produced.
+func (r *LandmarkRouter) VCAssignment() VCAssignment {
+	return VCAssignment{NumVCs: len(r.landmarks), fn: r.routeVC}
+}
+
+func (r *LandmarkRouter) routeVC(route []graph.NodeID, hop int) int {
+	si, sok := r.frz.IndexOf(route[0])
+	di, dok := r.frz.IndexOf(route[len(route)-1])
+	if !sok || !dok || si == di {
+		return 0
+	}
+	t, _, _ := r.bestTree(int32(si), int32(di))
+	return t
+}

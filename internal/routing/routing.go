@@ -381,7 +381,9 @@ func DeadlockFree(t Router, arch *topology.Architecture, pairs [][2]graph.NodeID
 }
 
 // VCAssignment maps each (route position) to a virtual channel, via the
-// dateline scheme of AssignVirtualChannels.
+// dateline scheme of AssignVirtualChannels — or via a custom scheme when
+// the route source carries its own deadlock-freedom proof (the landmark
+// router's tree-index VCs).
 type VCAssignment struct {
 	// NumVCs is the number of virtual channels required.
 	NumVCs int
@@ -391,11 +393,19 @@ type VCAssignment struct {
 	// labels orders all directed channels; packets ascend labels within a
 	// VC and bump the VC on every descent.
 	labels map[Channel]int
+	// fn, when set, replaces the dateline scheme entirely: the route
+	// source supplies the per-hop VC (and owns the deadlock-freedom
+	// argument for it). It must be deterministic and safe for concurrent
+	// calls, and must return values in [0, NumVCs).
+	fn func(route []graph.NodeID, hop int) int
 }
 
 // VCForHop returns the virtual channel a packet occupies on the i-th hop
 // (0-based) of the given route.
 func (a VCAssignment) VCForHop(route []graph.NodeID, hop int) int {
+	if a.fn != nil {
+		return a.fn(route, hop)
+	}
 	if a.singleVC {
 		return 0
 	}

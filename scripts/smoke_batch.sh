@@ -86,6 +86,62 @@ if [ "$heap" -ge 1073741824 ]; then
     exit 1
 fi
 
+echo "== 10k-router uniform batch via landmark routes =="
+# Uniform (all-pairs) demand at 10,000 routers: the one workload the
+# demand-driven compile cannot narrow. PR 9 refused it; the landmark
+# route source accepts it — four landmark-rooted trees, an empty sparse
+# table, every plan resolved through the bounded lazy cache (so every
+# delivery is a plan miss) — and the same 1 GB heap gate must hold.
+cat > "$work/request10ku.json" <<'EOF'
+{
+  "archs": [
+    {"name": "scalefree10k", "ba": "10000:2:5"}
+  ],
+  "points": [
+    {"arch": 0, "pattern": "uniform", "bits": 128, "rate": 0.002, "warmupCycles": 50, "measureCycles": 150, "seed": 11, "includeStats": true}
+  ]
+}
+EOF
+"$work/nocsim" -simbatch "$work/request10ku.json" -parallel 2 -memstats \
+    -out "$work/local10ku.json" 2> "$work/local10ku.err"
+cat "$work/local10ku.err" >&2
+grep -q '"delivered": 0,' "$work/local10ku.json" && {
+    echo "smoke_batch: the 10k-router uniform point delivered nothing" >&2; exit 1; }
+grep -q '"planMisses"' "$work/local10ku.json" || {
+    echo "smoke_batch: uniform landmark traffic produced no lazy plan misses" >&2; exit 1; }
+heap=$(sed -n 's/^nocsim: heap after batch: .* \([0-9][0-9]*\) bytes from the OS.*$/\1/p' "$work/local10ku.err")
+[ -n "$heap" ] || { echo "smoke_batch: -memstats printed no heap figure for the uniform batch" >&2; exit 1; }
+if [ "$heap" -ge 1073741824 ]; then
+    echo "smoke_batch: 10k-router uniform batch claimed $heap bytes from the OS (>= 1 GB)" >&2
+    exit 1
+fi
+
+echo "== partitioned kernel byte-identity =="
+# The same light-load request through the serial kernel and the 4-way
+# partitioned one must produce identical bytes: with buffers deeper than
+# the router pipeline (bufferFlits 16 vs the 3-cycle wheel) and a light
+# rate, no credit ever waits on the cycle barrier, so the partitioned
+# machine is exactly the serial one. -partitions overrides every point.
+cat > "$work/requestpart.json" <<'EOF'
+{
+  "archs": [
+    {"name": "mesh6x6", "mesh": "6x6"}
+  ],
+  "config": {"bufferFlits": 16},
+  "points": [
+    {"arch": 0, "pattern": "transpose", "bits": 64, "rate": 0.02, "warmupCycles": 100, "measureCycles": 400, "seed": 21, "includeStats": true},
+    {"arch": 0, "pattern": "uniform", "bits": 128, "rate": 0.01, "warmupCycles": 100, "measureCycles": 400, "seed": 22}
+  ]
+}
+EOF
+"$work/nocsim" -simbatch "$work/requestpart.json" -parallel 1 -partitions 1 -out "$work/part1.json" 2>/dev/null
+"$work/nocsim" -simbatch "$work/requestpart.json" -parallel 1 -partitions 4 -out "$work/part4.json" 2>/dev/null
+if ! cmp -s "$work/part1.json" "$work/part4.json"; then
+    echo "smoke_batch: partitioned (-partitions 4) batch differs from serial at light load" >&2
+    diff "$work/part1.json" "$work/part4.json" >&2 || true
+    exit 1
+fi
+
 echo "== start daemon =="
 "$work/nocserve" -addr "127.0.0.1:${port}" -cache-dir "$work/cache" \
     -drain-timeout 60s >"$work/nocserve.log" 2>&1 &
